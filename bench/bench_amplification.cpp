@@ -1,0 +1,66 @@
+// Experiment E-AMP: soundness amplification of the building blocks
+// (Lemma 2.5 parallel repetition; Lemma 2.6 field-size scaling).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/algorithms.hpp"
+#include "protocols/multiset_equality.hpp"
+#include "protocols/spanning_tree.hpp"
+
+using namespace lrdip;
+using namespace lrdip::bench;
+
+int main() {
+  Rng rng(777);
+  print_header("E-AMP: soundness amplification (Lemmas 2.5 / 2.6)",
+               "spanning-tree verification: rejection vs repetitions (cheating "
+               "structure: a rootless cycle, per-rep escape probability 1/2); "
+               "multiset equality: rejection vs universe exponent c");
+
+  const int trials = soundness_trials(400);
+  Table t1({"repetitions", "bits_per_node", "measured_rejection", "predicted"});
+  for (int k : {1, 2, 4, 8}) {
+    int rejects = 0;
+    for (int s = 0; s < trials; ++s) {
+      const Graph g = cycle_graph(16);
+      std::vector<NodeId> parent(16);
+      for (int v = 0; v < 16; ++v) parent[v] = (v + 1) % 16;
+      rejects += !verify_spanning_tree(g, parent, k, rng).all_accept();
+    }
+    t1.add_row({Table::num(k), Table::num(2 * k), Table::num(double(rejects) / trials, 3),
+                Table::num(1.0 - std::pow(0.5, k), 3)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n";
+  Table t2({"universe_exp_c", "field_p", "bits_per_node", "measured_rejection"});
+  const auto host = random_planar(96, 0.4, rng);
+  const RootedForest tree = bfs_tree(host.graph, 0);
+  for (int c : {1, 2, 3}) {
+    const Fp f = multiset_equality_field(32, c);
+    int rejects = 0;
+    const int local_trials = trials / 2;
+    for (int s = 0; s < local_trials; ++s) {
+      MultisetEqualityInput in;
+      in.s1.resize(host.graph.n());
+      in.s2.resize(host.graph.n());
+      in.size_bound = 32;
+      in.universe_exponent = c;
+      std::uint64_t universe = 1;
+      for (int i = 0; i < c; ++i) universe *= 32;
+      for (int i = 0; i < 32; ++i) {
+        const std::uint64_t val = rng.uniform(universe);
+        in.s1[rng.uniform(host.graph.n())].push_back(val);
+        in.s2[rng.uniform(host.graph.n())].push_back(val);
+      }
+      in.s1[rng.uniform(host.graph.n())].push_back(rng.uniform(universe));  // imbalance
+      rejects += !verify_multiset_equality(host.graph, tree, in, rng).all_accept();
+    }
+    t2.add_row({Table::num(c), Table::num(f.modulus()), Table::num(3 * f.element_bits()),
+                Table::num(double(rejects) / local_trials, 4)});
+  }
+  t2.print(std::cout);
+  std::cout << "\nshape check: L2.5 rejection ~ 1 - 2^-k; L2.6 rejection -> 1 as c grows.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E-PERF: wall-clock throughput of the simulated protocols
+// (google-benchmark). Not a paper claim — an engineering datum showing the
+// library runs the full 5-round pipeline at interactive speeds.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocols/lr_sorting.hpp"
+#include "protocols/path_outerplanarity.hpp"
+#include "protocols/planar_embedding.hpp"
+
+namespace {
+
+using namespace lrdip;
+using namespace lrdip::bench;
+
+void BM_LrSorting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng gen_rng(42);
+  const LrInstance gi = random_lr_yes(n, 1.0, gen_rng);
+  const LrSortingInstance inst = to_protocol_instance(gi);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_lr_sorting(inst, {3}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LrSorting)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_PathOuterplanarity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng gen_rng(43);
+  const auto gi = random_path_outerplanar(n, 1.0, gen_rng);
+  const PathOuterplanarityInstance inst{&gi.graph, gi.order};
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_path_outerplanarity(inst, {3}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PathOuterplanarity)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_PlanarEmbedding(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng gen_rng(44);
+  const auto gi = random_planar(n, 0.4, gen_rng);
+  const PlanarEmbeddingInstance inst{&gi.graph, &gi.rotation};
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_planar_embedding(inst, {3}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlanarEmbedding)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_InstanceGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_path_outerplanar(n, 1.0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstanceGeneration)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

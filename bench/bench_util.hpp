@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "protocols/lr_sorting.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace lrdip::bench {
+
+/// Scale knob: benchmarks sweep n in powers of two up to this (default 2^18;
+/// override with LRDIP_BENCH_MAX_LOG_N).
+inline int max_log_n(int def = 18) {
+  if (const char* env = std::getenv("LRDIP_BENCH_MAX_LOG_N")) {
+    const int v = std::atoi(env);
+    if (v >= 6 && v <= 24) return v;
+  }
+  return def;
+}
+
+inline int soundness_trials(int def = 40) {
+  if (const char* env = std::getenv("LRDIP_BENCH_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 100000) return v;
+  }
+  return def;
+}
+
+inline LrSortingInstance to_protocol_instance(const LrInstance& gi) {
+  LrSortingInstance inst;
+  inst.graph = &gi.graph;
+  inst.order = gi.order;
+  inst.tail.resize(gi.graph.m());
+  std::vector<int> pos(gi.graph.n());
+  for (int i = 0; i < gi.graph.n(); ++i) pos[gi.order[i]] = i;
+  for (EdgeId e = 0; e < gi.graph.m(); ++e) {
+    const auto [u, v] = gi.graph.endpoints(e);
+    const NodeId earlier = pos[u] < pos[v] ? u : v;
+    const NodeId later = pos[u] < pos[v] ? v : u;
+    inst.tail[e] = gi.forward[e] ? earlier : later;
+  }
+  return inst;
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace lrdip::bench

@@ -1,0 +1,168 @@
+// lrdip: command-line front end to the protocol suite.
+//
+//   lrdip <task> <graph-file> [--seed S] [--c C] [--trials T] [--baseline]
+//   lrdip gen <family> <n> <out-file> [--seed S]
+//
+// Tasks: lr-sorting | path-outerplanar | outerplanar | embedding | planarity
+//        | series-parallel | treewidth2
+// Families: path-outerplanar | outerplanar | planar | series-parallel
+//        | treewidth2 | lr-yes | lr-no
+//
+// Graph files use the src/graph/io.hpp format; the optional sections carry
+// the prover certificates (order / rotation / tails) where available.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "protocols/lr_sorting.hpp"
+#include "protocols/outerplanarity.hpp"
+#include "protocols/path_outerplanarity.hpp"
+#include "protocols/planar_embedding.hpp"
+#include "protocols/series_parallel_protocol.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lrdip;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T]\n"
+      "  lrdip gen <family> <n> <out-file> [--seed S]\n"
+      "tasks:    lr-sorting path-outerplanar outerplanar embedding planarity\n"
+      "          series-parallel treewidth2\n"
+      "families: path-outerplanar outerplanar planar series-parallel\n"
+      "          treewidth2 lr-yes lr-no\n";
+  return 2;
+}
+
+struct Options {
+  std::uint64_t seed = 1;
+  int c = 3;
+  int trials = 1;
+};
+
+Options parse_options(int argc, char** argv, int from) {
+  Options opt;
+  for (int i = from; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      LRDIP_CHECK_MSG(i + 1 < argc, "missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (a == "--c") {
+      opt.c = std::stoi(next());
+    } else if (a == "--trials") {
+      opt.trials = std::stoi(next());
+    } else {
+      throw InvariantError("unknown option: " + a);
+    }
+  }
+  return opt;
+}
+
+void report(const std::string& task, const Outcome& o) {
+  std::cout << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED")
+            << "  rounds=" << o.rounds << "  proof_bits=" << o.proof_size_bits
+            << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits
+            << "\n";
+}
+
+int run_task(const std::string& task, const std::string& path, const Options& opt) {
+  const GraphFile gf = read_graph_file(path);
+  Rng rng(opt.seed);
+  int accepted = 0;
+  Outcome last;
+  for (int t = 0; t < opt.trials; ++t) {
+    if (task == "lr-sorting") {
+      LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
+      LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
+      LrSortingInstance inst{&gf.graph, *gf.order, *gf.tails};
+      last = run_lr_sorting(inst, {opt.c}, rng);
+    } else if (task == "path-outerplanar") {
+      last = run_path_outerplanarity({&gf.graph, gf.order}, {opt.c}, rng);
+    } else if (task == "outerplanar") {
+      last = run_outerplanarity({&gf.graph, std::nullopt}, {opt.c}, rng);
+    } else if (task == "embedding") {
+      LRDIP_CHECK_MSG(gf.rotation.has_value(), "embedding needs a 'rotation' section");
+      last = run_planar_embedding({&gf.graph, &*gf.rotation}, {opt.c}, rng);
+    } else if (task == "planarity") {
+      last = run_planarity({&gf.graph, gf.rotation ? &*gf.rotation : nullptr}, {opt.c}, rng);
+    } else if (task == "series-parallel") {
+      last = run_series_parallel({&gf.graph, std::nullopt}, {opt.c}, rng);
+    } else if (task == "treewidth2") {
+      last = run_treewidth2({&gf.graph, std::nullopt}, {opt.c}, rng);
+    } else {
+      return usage();
+    }
+    accepted += last.accepted ? 1 : 0;
+  }
+  report(task, last);
+  if (opt.trials > 1) {
+    std::cout << "acceptance over " << opt.trials << " independent runs: " << accepted << "/"
+              << opt.trials << "\n";
+  }
+  return last.accepted ? 0 : 1;
+}
+
+int run_gen(const std::string& family, int n, const std::string& out, const Options& opt) {
+  Rng rng(opt.seed);
+  GraphFile gf;
+  if (family == "path-outerplanar") {
+    auto inst = random_path_outerplanar(n, 1.0, rng);
+    gf.graph = std::move(inst.graph);
+    gf.order = std::move(inst.order);
+  } else if (family == "outerplanar") {
+    gf.graph = random_outerplanar(n, std::max(1, n / 64), rng);
+  } else if (family == "planar") {
+    auto inst = random_planar(n, 0.4, rng);
+    gf.graph = std::move(inst.graph);
+    gf.rotation = std::move(inst.rotation);
+  } else if (family == "series-parallel") {
+    gf.graph = random_series_parallel(n, rng).graph;
+  } else if (family == "treewidth2") {
+    gf.graph = random_treewidth2(n, std::max(1, n / 64), rng);
+  } else if (family == "lr-yes" || family == "lr-no") {
+    const LrInstance inst = family == "lr-yes" ? random_lr_yes(n, 1.0, rng)
+                                               : random_lr_no(n, 1.0, 1, rng);
+    gf.graph = inst.graph;
+    gf.order = inst.order;
+    std::vector<int> pos(inst.graph.n());
+    for (int i = 0; i < inst.graph.n(); ++i) pos[inst.order[i]] = i;
+    std::vector<NodeId> tails(inst.graph.m());
+    for (EdgeId e = 0; e < inst.graph.m(); ++e) {
+      const auto [u, v] = inst.graph.endpoints(e);
+      const NodeId early = pos[u] < pos[v] ? u : v;
+      tails[e] = inst.forward[e] ? early : inst.graph.other_end(e, early);
+    }
+    gf.tails = std::move(tails);
+  } else {
+    return usage();
+  }
+  write_graph_file(out, gf);
+  std::cout << "wrote " << family << " instance: n=" << gf.graph.n() << " m=" << gf.graph.m()
+            << " -> " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "gen") {
+      if (argc < 5) return usage();
+      return run_gen(argv[2], std::stoi(argv[3]), argv[4], parse_options(argc, argv, 5));
+    }
+    return run_task(cmd, argv[2], parse_options(argc, argv, 3));
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 2;
+  }
+}

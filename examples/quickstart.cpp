@@ -1,0 +1,49 @@
+// Quickstart: build a small outerplanar graph by hand and certify it with the
+// 5-round distributed interactive proof of Theorem 1.3, comparing against the
+// one-round Theta(log n) proof labeling baseline.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "gen/generators.hpp"
+#include "graph/outerplanar.hpp"
+#include "protocols/outerplanarity.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace lrdip;
+
+  // An 8-gon with two nested chords: outerplanar, biconnected.
+  Graph g = cycle_graph(8);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+
+  std::cout << "graph: n=" << g.n() << " m=" << g.m()
+            << "  outerplanar=" << (is_outerplanar(g) ? "yes" : "no") << "\n\n";
+
+  // The prover's certificate: the polygon is the Hamiltonian cycle.
+  std::vector<NodeId> cycle(g.n());
+  for (int i = 0; i < g.n(); ++i) cycle[i] = i;
+
+  Rng rng(2025);
+  OuterplanarityInstance inst{&g, std::vector<std::vector<NodeId>>{cycle}};
+  const Outcome dip = run_outerplanarity(inst, {3}, rng);
+
+  std::cout << "distributed interactive proof (Gil-Parter, Theorem 1.3):\n"
+            << "  rounds            : " << dip.rounds << "\n"
+            << "  accepted          : " << (dip.accepted ? "yes" : "no") << "\n"
+            << "  proof size        : " << dip.proof_size_bits << " bits/node (max)\n"
+            << "  total label bits  : " << dip.total_label_bits << "\n"
+            << "  verifier coin bits: " << dip.max_coin_bits << " (max per node)\n\n";
+
+  const Outcome pls = run_outerplanarity_baseline_pls(inst);
+  std::cout << "one-round proof labeling baseline (BFP24-style):\n"
+            << "  rounds    : " << pls.rounds << "\n"
+            << "  accepted  : " << (pls.accepted ? "yes" : "no") << "\n"
+            << "  proof size: " << pls.proof_size_bits << " bits/node\n\n";
+
+  std::cout << "interaction buys label size O(log log n) instead of Theta(log n);\n"
+            << "at this toy size the constants dominate — run bench_separation for\n"
+            << "the asymptotic picture.\n";
+  return 0;
+}

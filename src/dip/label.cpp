@@ -1,0 +1,19 @@
+#include "dip/label.hpp"
+
+namespace lrdip {
+
+Label& Label::put(std::uint64_t value, int bits) {
+  LRDIP_CHECK(bits >= 1 && bits <= 64);
+  LRDIP_CHECK_MSG(bits == 64 || value < (std::uint64_t{1} << bits),
+                  "label field value does not fit its declared width");
+  fields_.push_back({value, bits});
+  bit_size_ += bits;
+  return *this;
+}
+
+std::uint64_t Label::get(std::size_t field) const {
+  LRDIP_CHECK_MSG(field < fields_.size(), "label field out of range");
+  return fields_[field].value;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,40 @@
+// Structured labels with honest bit accounting.
+//
+// A label is an ordered sequence of fields; each field carries a value and the
+// number of bits the honest prover would spend to transmit it. Protocols
+// address fields positionally (with named constants), so a label doubles as
+// its own wire format: bit_size() is the exact transmitted size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+class Label {
+ public:
+  /// Appends a field; value must fit in `bits` (1 <= bits <= 64).
+  Label& put(std::uint64_t value, int bits);
+
+  /// Convenience for single-bit flags.
+  Label& put_flag(bool value) { return put(value ? 1 : 0, 1); }
+
+  std::uint64_t get(std::size_t field) const;
+  bool get_flag(std::size_t field) const { return get(field) != 0; }
+
+  std::size_t num_fields() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  int bit_size() const { return bit_size_; }
+
+ private:
+  struct Field {
+    std::uint64_t value;
+    int bits;
+  };
+  std::vector<Field> fields_;
+  int bit_size_ = 0;
+};
+
+}  // namespace lrdip

@@ -1,0 +1,99 @@
+#include "dip/store.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace lrdip {
+
+LabelStore::LabelStore(const Graph& g, int rounds) : g_(&g) {
+  LRDIP_CHECK(rounds >= 1);
+  node_labels_.assign(rounds, std::vector<Label>(g.n()));
+  edge_labels_.assign(rounds, std::vector<Label>(g.m()));
+  charged_bits_.assign(g.n(), 0);
+}
+
+void LabelStore::assign_node(int round, NodeId v, Label label) {
+  LRDIP_CHECK(round >= 0 && round < rounds());
+  LRDIP_CHECK_MSG(node_labels_[round][v].empty(), "node label already assigned this round");
+  charged_bits_[v] += label.bit_size();
+  node_labels_[round][v] = std::move(label);
+}
+
+void LabelStore::assign_edge(int round, EdgeId e, Label label, NodeId accountable) {
+  LRDIP_CHECK(round >= 0 && round < rounds());
+  const auto [a, b] = g_->endpoints(e);
+  LRDIP_CHECK_MSG(accountable == a || accountable == b,
+                  "edge label must be charged to one of its endpoints");
+  LRDIP_CHECK_MSG(edge_labels_[round][e].empty(), "edge label already assigned this round");
+  charged_bits_[accountable] += label.bit_size();
+  edge_labels_[round][e] = std::move(label);
+}
+
+const Label& LabelStore::node_label(int round, NodeId v) const {
+  LRDIP_CHECK(round >= 0 && round < rounds());
+  return node_labels_[round][v];
+}
+
+const Label& LabelStore::edge_label(int round, EdgeId e) const {
+  LRDIP_CHECK(round >= 0 && round < rounds());
+  return edge_labels_[round][e];
+}
+
+int LabelStore::proof_size_bits() const {
+  int mx = 0;
+  for (int b : charged_bits_) mx = std::max(mx, b);
+  return mx;
+}
+
+std::int64_t LabelStore::total_label_bits() const {
+  std::int64_t t = 0;
+  for (int b : charged_bits_) t += b;
+  return t;
+}
+
+CoinStore::CoinStore(const Graph& g, int rounds) {
+  coins_.assign(rounds, std::vector<std::vector<std::uint64_t>>(g.n()));
+  coin_bits_.assign(g.n(), 0);
+}
+
+std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
+                                               std::uint64_t bound, int bits_each,
+                                               Rng& rng) {
+  LRDIP_CHECK(round >= 0 && round < static_cast<int>(coins_.size()));
+  auto& slot = coins_[round][v];
+  for (int i = 0; i < count; ++i) slot.push_back(rng.uniform(bound));
+  coin_bits_[v] += count * bits_each;
+  return slot;
+}
+
+std::span<const std::uint64_t> CoinStore::coins(int round, NodeId v) const {
+  LRDIP_CHECK(round >= 0 && round < static_cast<int>(coins_.size()));
+  return coins_[round][v];
+}
+
+int CoinStore::max_coin_bits() const {
+  int mx = 0;
+  for (int b : coin_bits_) mx = std::max(mx, b);
+  return mx;
+}
+
+const Label& NodeView::of_neighbor(int round, NodeId u) const {
+  bool adjacent = false;
+  for (const Half& h : graph().neighbors(v_)) {
+    if (h.to == u) {
+      adjacent = true;
+      break;
+    }
+  }
+  LRDIP_CHECK_MSG(adjacent, "verifier tried to read a non-neighbor's label");
+  return labels_->node_label(round, u);
+}
+
+const Label& NodeView::of_edge(int round, EdgeId e) const {
+  const auto [a, b] = graph().endpoints(e);
+  LRDIP_CHECK_MSG(a == v_ || b == v_, "verifier tried to read a non-incident edge label");
+  return labels_->edge_label(round, e);
+}
+
+}  // namespace lrdip

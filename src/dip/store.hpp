@@ -1,0 +1,104 @@
+// The distributed-interactive-proof execution substrate.
+//
+// LabelStore records, per interaction round, the labels the prover assigned to
+// nodes and edges, with edge labels charged to an "accountable" endpoint
+// exactly as in the Lemma 2.4 simulation (the edge label is physically written
+// inside that endpoint's node label). CoinStore records the public coins each
+// node drew per verifier round. NodeView is the only handle the per-node
+// verifier decision code receives: it exposes the node's own coins, its own
+// labels, its neighbors' labels, and incident-edge labels — nothing else — so
+// the locality constraint of the KOS18 model is enforced by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dip/label.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+/// Result of one protocol execution.
+struct Outcome {
+  bool accepted = false;
+  int rounds = 0;
+  /// Proof size: max over nodes of the total bits the prover assigned to that
+  /// node across all rounds (edge labels charged to the accountable endpoint).
+  int proof_size_bits = 0;
+  std::int64_t total_label_bits = 0;
+  /// Max over nodes of public-coin bits drawn.
+  int max_coin_bits = 0;
+};
+
+class LabelStore {
+ public:
+  LabelStore(const Graph& g, int rounds);
+
+  void assign_node(int round, NodeId v, Label label);
+  void assign_edge(int round, EdgeId e, Label label, NodeId accountable);
+
+  const Label& node_label(int round, NodeId v) const;
+  const Label& edge_label(int round, EdgeId e) const;
+
+  int rounds() const { return static_cast<int>(node_labels_.size()); }
+  const Graph& graph() const { return *g_; }
+
+  /// Max over nodes of charged bits.
+  int proof_size_bits() const;
+  std::int64_t total_label_bits() const;
+  /// Charged bits per node (edge labels included at the accountable endpoint).
+  const std::vector<int>& charged_bits() const { return charged_bits_; }
+
+ private:
+  const Graph* g_;
+  std::vector<std::vector<Label>> node_labels_;  // [round][node]
+  std::vector<std::vector<Label>> edge_labels_;  // [round][edge]
+  std::vector<int> charged_bits_;                // [node]
+  Label empty_;
+};
+
+class CoinStore {
+ public:
+  CoinStore(const Graph& g, int rounds);
+
+  /// Draws and records `count` coins uniform below `bound` for node v in the
+  /// given verifier round. Returns the values (also retrievable later).
+  std::span<const std::uint64_t> draw(int round, NodeId v, int count,
+                                      std::uint64_t bound, int bits_each, Rng& rng);
+
+  std::span<const std::uint64_t> coins(int round, NodeId v) const;
+  int max_coin_bits() const;
+  const std::vector<int>& coin_bits() const { return coin_bits_; }
+
+ private:
+  std::vector<std::vector<std::vector<std::uint64_t>>> coins_;  // [round][node][i]
+  std::vector<int> coin_bits_;                                  // [node]
+};
+
+/// The verifier's eyes at one node. Created by the protocol driver for the
+/// final decision step.
+class NodeView {
+ public:
+  NodeView(const LabelStore& labels, const CoinStore& coins, NodeId v)
+      : labels_(&labels), coins_(&coins), v_(v) {}
+
+  NodeId id() const { return v_; }
+  const Graph& graph() const { return labels_->graph(); }
+  int degree() const { return graph().degree(v_); }
+  std::span<const Half> neighbors() const { return graph().neighbors(v_); }
+
+  const Label& own(int round) const { return labels_->node_label(round, v_); }
+  const Label& of_neighbor(int round, NodeId u) const;
+  const Label& of_edge(int round, EdgeId e) const;
+  std::span<const std::uint64_t> own_coins(int round) const { return coins_->coins(round, v_); }
+
+ private:
+  const LabelStore* labels_;
+  const CoinStore* coins_;
+  NodeId v_;
+};
+
+}  // namespace lrdip

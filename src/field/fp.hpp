@@ -1,0 +1,45 @@
+// Prime-field arithmetic F_p for the polynomial-identity tests.
+//
+// All protocol fields in the paper have p = polylog(n), so a 64-bit modulus
+// with 128-bit intermediate products is ample. Fp is a value type describing
+// the field; Fe ("field element") operations are free functions on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+class Fp {
+ public:
+  explicit Fp(std::uint64_t p);
+
+  std::uint64_t modulus() const { return p_; }
+
+  /// Bits to transmit one field element.
+  int element_bits() const { return bits_for_values(p_); }
+
+  std::uint64_t reduce(std::uint64_t x) const { return x % p_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t pow(std::uint64_t base, std::uint64_t exp) const;
+  std::uint64_t inv(std::uint64_t a) const;
+
+  /// Uniform element of the field.
+  std::uint64_t sample(Rng& rng) const { return rng.uniform(p_); }
+
+  /// Evaluate the multiset polynomial phi_S(x) = prod_{s in S} (s - x) at x.
+  /// Elements are reduced mod p before use.
+  std::uint64_t multiset_poly(std::span<const std::uint64_t> multiset, std::uint64_t x) const;
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace lrdip

@@ -1,0 +1,64 @@
+#include "field/primes.hpp"
+
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 mulmod(u64 a, u64 b, u64 m) { return static_cast<u64>(u128{a} * b % m); }
+
+u64 powmod(u64 base, u64 exp, u64 m) {
+  u64 r = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) r = mulmod(r, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return r;
+}
+
+bool miller_rabin(u64 n, u64 a) {
+  if (a % n == 0) return true;
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  u64 x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic witness set for all 64-bit integers.
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin(n, a)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_above(std::uint64_t n) {
+  LRDIP_CHECK_MSG(n < (std::uint64_t{1} << 62), "field modulus out of supported range");
+  std::uint64_t c = n + 1;
+  if (c <= 2) return 2;
+  if (c % 2 == 0) ++c;
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+}  // namespace lrdip

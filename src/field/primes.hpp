@@ -1,0 +1,18 @@
+// Prime-finding utilities for choosing the multiset-equality fields.
+//
+// The protocols need "the smallest prime p > k" for k that is polylog(n), so a
+// simple deterministic Miller–Rabin over 64-bit values is more than enough.
+#pragma once
+
+#include <cstdint>
+
+namespace lrdip {
+
+/// Deterministic primality test, valid for all 64-bit values.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime strictly greater than n. Requires the result to fit in 63
+/// bits (always true for our polylog-sized fields).
+std::uint64_t next_prime_above(std::uint64_t n);
+
+}  // namespace lrdip

@@ -1,0 +1,58 @@
+// Basic traversals and tree utilities shared by the protocol substrates.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+/// A rooted spanning structure: parent[v] == -1 iff v is a root (or
+/// unreachable — see `reached`). parent_edge mirrors parent with edge ids.
+struct RootedForest {
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<int> depth;
+  std::vector<NodeId> order;  // nodes in visit order (roots first in their tree)
+};
+
+/// BFS tree from `root`; nodes unreachable from root have parent -1 and depth -1.
+RootedForest bfs_tree(const Graph& g, NodeId root);
+
+/// True iff every node is reachable from node 0 (or n == 0).
+bool is_connected(const Graph& g);
+
+/// Connected component id per node, and the number of components.
+std::pair<std::vector<int>, int> components(const Graph& g);
+
+/// True iff the edge subset `in_tree` (indexed by edge id) forms a spanning
+/// tree of g: spans all nodes, connected, acyclic.
+bool is_spanning_tree(const Graph& g, const std::vector<char>& in_tree);
+
+/// Children lists of a rooted forest, indexed by node.
+std::vector<std::vector<NodeId>> children_of(const RootedForest& f);
+
+/// A Hamiltonian-path check: `order` must visit every node exactly once with
+/// consecutive nodes adjacent in g.
+bool is_hamiltonian_path(const Graph& g, const std::vector<NodeId>& order);
+
+/// Nodes in non-increasing finish order of a DFS — handy for deterministic
+/// processing orders in tests.
+std::vector<NodeId> dfs_postorder(const Graph& g, NodeId root);
+
+/// A subgraph together with the id maps back to the host graph. Used by the
+/// block-decomposition protocols, which run sub-protocols on induced pieces.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> node_to_orig;  // new node id -> host node id
+  std::vector<NodeId> orig_to_node;  // host node id -> new node id or -1
+  std::vector<EdgeId> edge_to_orig;  // new edge id -> host edge id
+};
+
+/// Builds the subgraph on `nodes` containing exactly `edges` (all endpoints
+/// must be in `nodes`). Edge order is preserved.
+Subgraph make_subgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                       const std::vector<EdgeId>& edges);
+
+}  // namespace lrdip

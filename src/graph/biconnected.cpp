@@ -1,0 +1,157 @@
+#include "graph/biconnected.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+
+BiconnectedDecomposition biconnected_components(const Graph& g) {
+  LRDIP_CHECK_MSG(is_connected(g), "biconnected_components requires a connected graph");
+  BiconnectedDecomposition out;
+  out.edge_component.assign(g.m(), -1);
+  out.is_cut.assign(g.n(), 0);
+  if (g.n() == 0) return out;
+
+  std::vector<int> disc(g.n(), -1), low(g.n(), 0);
+  std::vector<EdgeId> edge_stack;
+  int timer = 0;
+
+  // Iterative Hopcroft–Tarjan: frame = (node, parent edge, cursor, child count).
+  struct Frame {
+    NodeId v;
+    EdgeId parent_edge;
+    std::size_t cursor = 0;
+    int children = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto pop_component = [&](EdgeId until_edge) {
+    std::vector<EdgeId> comp_edges;
+    while (true) {
+      LRDIP_CHECK(!edge_stack.empty());
+      const EdgeId e = edge_stack.back();
+      edge_stack.pop_back();
+      comp_edges.push_back(e);
+      if (e == until_edge) break;
+    }
+    const int cid = static_cast<int>(out.component_edges.size());
+    std::set<NodeId> nodes;
+    for (EdgeId e : comp_edges) {
+      out.edge_component[e] = cid;
+      const auto [a, b] = g.endpoints(e);
+      nodes.insert(a);
+      nodes.insert(b);
+    }
+    out.component_edges.push_back(std::move(comp_edges));
+    out.component_nodes.emplace_back(nodes.begin(), nodes.end());
+  };
+
+  const NodeId root = 0;
+  stack.push_back({root, -1});
+  disc[root] = low[root] = timer++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const NodeId v = f.v;
+    const auto nbrs = g.neighbors(v);
+    if (f.cursor < nbrs.size()) {
+      const Half h = nbrs[f.cursor++];
+      if (h.edge == f.parent_edge) continue;
+      if (disc[h.to] == -1) {
+        edge_stack.push_back(h.edge);
+        ++f.children;
+        disc[h.to] = low[h.to] = timer++;
+        stack.push_back({h.to, h.edge});
+      } else if (disc[h.to] < disc[v]) {
+        // Back edge to an ancestor.
+        edge_stack.push_back(h.edge);
+        low[v] = std::min(low[v], disc[h.to]);
+      }
+    } else {
+      // Finish v: propagate lowpoint to parent and close components.
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& pf = stack.back();
+        const NodeId u = pf.v;
+        low[u] = std::min(low[u], low[v]);
+        if (low[v] >= disc[u]) {
+          // u separates v's subtree: close the component under edge (u,v).
+          if (pf.parent_edge != -1 || pf.children > 1 ||
+              // root with a single child is a cut vertex only if more children
+              // come later; mark lazily below.
+              false) {
+            out.is_cut[u] = 1;
+          }
+          pop_component(f.parent_edge);
+        }
+      }
+    }
+  }
+
+  // Root cut-vertex rule: the DFS root is a cut vertex iff it has >= 2
+  // tree-children, equivalently >= 2 incident components.
+  {
+    std::set<int> root_comps;
+    for (const Half& h : g.neighbors(root)) root_comps.insert(out.edge_component[h.edge]);
+    out.is_cut[root] = root_comps.size() >= 2 ? 1 : 0;
+  }
+
+  LRDIP_CHECK(edge_stack.empty());
+  for (int c : out.edge_component) LRDIP_CHECK(c != -1);
+  return out;
+}
+
+BlockCutTree block_cut_tree(const Graph& g, NodeId root_hint) {
+  BlockCutTree t;
+  t.decomp = biconnected_components(g);
+  const int nblocks = t.decomp.num_components();
+  t.separating_node.assign(nblocks, -1);
+  t.block_depth.assign(nblocks, -1);
+
+  if (nblocks == 0) return t;
+
+  // Blocks incident to each node.
+  std::vector<std::vector<int>> node_blocks(g.n());
+  for (int b = 0; b < nblocks; ++b) {
+    for (NodeId v : t.decomp.component_nodes[b]) node_blocks[v].push_back(b);
+  }
+
+  // Root block: any block containing root_hint.
+  LRDIP_CHECK(root_hint >= 0 && root_hint < g.n());
+  LRDIP_CHECK(!node_blocks[root_hint].empty());
+  t.root_block = node_blocks[root_hint].front();
+
+  // BFS over the bipartite block/cut structure.
+  std::deque<int> queue{t.root_block};
+  t.block_depth[t.root_block] = 0;
+  std::vector<char> node_seen(g.n(), 0);
+  while (!queue.empty()) {
+    const int b = queue.front();
+    queue.pop_front();
+    for (NodeId v : t.decomp.component_nodes[b]) {
+      if (!t.decomp.is_cut[v] || node_seen[v]) continue;
+      node_seen[v] = 1;
+      for (int b2 : node_blocks[v]) {
+        if (t.block_depth[b2] == -1) {
+          t.block_depth[b2] = t.block_depth[b] + 1;
+          t.separating_node[b2] = v;
+          queue.push_back(b2);
+        }
+      }
+    }
+  }
+  for (int b = 0; b < nblocks; ++b) LRDIP_CHECK(t.block_depth[b] != -1);
+  return t;
+}
+
+bool is_biconnected(const Graph& g) {
+  if (g.n() <= 2) return is_connected(g);
+  if (!is_connected(g)) return false;
+  const auto d = biconnected_components(g);
+  return d.num_components() == 1;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,49 @@
+// Biconnected components, cut vertices, and the block-cut tree.
+//
+// The outerplanarity (Thm 1.3) and treewidth-2 (Thm 1.7) protocols decompose
+// the graph into its biconnected components ("blocks") glued at cut nodes and
+// run a sub-protocol per block. This module provides the centralized
+// decomposition the honest prover uses.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+struct BiconnectedDecomposition {
+  /// Component id per edge (every edge lies in exactly one block).
+  std::vector<int> edge_component;
+  /// Node lists of each block (a node may appear in several blocks).
+  std::vector<std::vector<NodeId>> component_nodes;
+  /// Edge lists of each block.
+  std::vector<std::vector<EdgeId>> component_edges;
+  /// True per node iff the node is a cut vertex.
+  std::vector<char> is_cut;
+
+  int num_components() const { return static_cast<int>(component_nodes.size()); }
+};
+
+/// Hopcroft–Tarjan lowpoint algorithm. The graph must be connected.
+BiconnectedDecomposition biconnected_components(const Graph& g);
+
+/// The block-cut tree rooted at the block containing `root_hint` (node id in g).
+/// Tree nodes: blocks 0..B-1 then cut vertices (indexed by an id map).
+struct BlockCutTree {
+  BiconnectedDecomposition decomp;
+  /// For every block != root block: the cut node separating it from its parent
+  /// (the "C-separating node" of the paper), else -1 for the root block.
+  std::vector<NodeId> separating_node;
+  /// Distance (in blocks) from the root block, i.e. depth in the block tree.
+  std::vector<int> block_depth;
+  int root_block = -1;
+};
+
+BlockCutTree block_cut_tree(const Graph& g, NodeId root_hint = 0);
+
+/// True iff g is biconnected (connected, and no cut vertex; single nodes and
+/// single edges count as biconnected by convention).
+bool is_biconnected(const Graph& g);
+
+}  // namespace lrdip

@@ -1,0 +1,96 @@
+#include "graph/degeneracy.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+std::pair<std::vector<NodeId>, int> degeneracy_order(const Graph& g) {
+  const int n = g.n();
+  std::vector<int> deg(n);
+  int maxdeg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxdeg = std::max(maxdeg, deg[v]);
+  }
+  // Bucket queue.
+  std::vector<std::vector<NodeId>> bucket(maxdeg + 1);
+  for (NodeId v = 0; v < n; ++v) bucket[deg[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  int degeneracy = 0;
+  for (int taken = 0; taken < n; ++taken) {
+    // Degrees may drop, so rescan buckets from 0 each round; amortized fine
+    // for the sizes we run.
+    int d = 0;
+    while (true) {
+      while (d <= maxdeg && bucket[d].empty()) ++d;
+      LRDIP_CHECK(d <= maxdeg);
+      const NodeId v = bucket[d].back();
+      bucket[d].pop_back();
+      if (removed[v] || deg[v] != d) continue;  // stale entry
+      degeneracy = std::max(degeneracy, d);
+      removed[v] = 1;
+      order.push_back(v);
+      for (const Half& h : g.neighbors(v)) {
+        if (!removed[h.to]) {
+          --deg[h.to];
+          bucket[deg[h.to]].push_back(h.to);
+        }
+      }
+      break;
+    }
+  }
+  return {std::move(order), degeneracy};
+}
+
+std::vector<int> greedy_coloring(const Graph& g) {
+  auto [order, d] = degeneracy_order(g);
+  (void)d;
+  std::vector<int> color(g.n(), -1);
+  // Color in reverse removal order: each node sees at most `degeneracy`
+  // already-colored neighbors.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::vector<char> used(g.degree(v) + 1, 0);
+    for (const Half& h : g.neighbors(v)) {
+      const int c = color[h.to];
+      if (c >= 0 && c < static_cast<int>(used.size())) used[c] = 1;
+    }
+    int c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+ForestDecomposition forest_decomposition(const Graph& g) {
+  auto [order, d] = degeneracy_order(g);
+  std::vector<int> pos(g.n());
+  for (int i = 0; i < g.n(); ++i) pos[order[i]] = i;
+
+  ForestDecomposition out;
+  out.num_forests = std::max(1, d);
+  out.edge_forest.assign(g.m(), -1);
+  out.parent_edge.assign(out.num_forests, std::vector<EdgeId>(g.n(), -1));
+
+  // Each node v (in removal order) has at most d neighbors later in the order;
+  // those are v's forest-parents, one per forest slot.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    int slot = 0;
+    for (const Half& h : g.neighbors(v)) {
+      if (pos[h.to] > pos[v]) {
+        LRDIP_CHECK(slot < out.num_forests);
+        out.edge_forest[h.edge] = slot;
+        out.parent_edge[slot][v] = h.edge;
+        ++slot;
+      }
+    }
+  }
+  for (int e = 0; e < g.m(); ++e) LRDIP_CHECK(out.edge_forest[e] != -1);
+  return out;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,41 @@
+// Degeneracy orderings, greedy coloring, and forest decompositions.
+//
+// Used by the Lemma 2.3 forest-encoding labels (constant-size colorings of
+// planar contractions) and by the Lemma 2.4 edge-label simulation (partition
+// of a planar edge set into O(1) parent-forests).
+//
+// Substitution note (documented in DESIGN.md §5): instead of 4-colorings and
+// Nash–Williams arboricity-3 partitions, we use the degeneracy order, which
+// gives <= 6 colors and <= 5 parent-forests on planar graphs. Label sizes stay
+// O(1) bits, which is all the protocols need.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+/// Smallest-last (degeneracy) ordering; returns (order, degeneracy d). Every
+/// node has at most d neighbors that appear *later* in `order`.
+std::pair<std::vector<NodeId>, int> degeneracy_order(const Graph& g);
+
+/// Greedy proper coloring along the reverse degeneracy order; uses at most
+/// degeneracy+1 colors (<= 6 on planar graphs).
+std::vector<int> greedy_coloring(const Graph& g);
+
+/// Partition of the edges into rooted forests: assignment[e] in [0, k) and for
+/// every forest i, each node has at most one incident edge of forest i leading
+/// to its forest-parent. parent_in_forest[i][v] is that parent edge or -1.
+struct ForestDecomposition {
+  int num_forests = 0;
+  std::vector<int> edge_forest;                        // by edge id
+  std::vector<std::vector<EdgeId>> parent_edge;        // [forest][node] -> edge or -1
+};
+
+/// Orient every edge from the earlier to the later endpoint in the degeneracy
+/// order; bucket the out-edges of each node into forests. On a planar graph
+/// this yields at most 5 forests.
+ForestDecomposition forest_decomposition(const Graph& g);
+
+}  // namespace lrdip

@@ -1,0 +1,70 @@
+#include "graph/dot.hpp"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#4c72b0", "#dd8452", "#55a868", "#c44e52",
+    "#8172b3", "#937860", "#da8bc3", "#8c8c8c",
+};
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Graph& g, const DotStyle& style) {
+  const bool directed = style.tails.has_value();
+  out << (directed ? "digraph " : "graph ") << style.graph_name << " {\n";
+  out << "  node [shape=circle, fontsize=10];\n";
+
+  std::vector<char> on_path_edge(g.m(), 0);
+  if (style.path_order) {
+    LRDIP_CHECK(static_cast<int>(style.path_order->size()) == g.n());
+    out << "  { rank=same;";
+    for (NodeId v : *style.path_order) out << " " << v << ";";
+    out << " }\n";
+    for (std::size_t i = 0; i + 1 < style.path_order->size(); ++i) {
+      const EdgeId e = g.find_edge((*style.path_order)[i], (*style.path_order)[i + 1]);
+      if (e != -1) on_path_edge[e] = 1;
+    }
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    out << "  " << v;
+    if (style.node_class && (*style.node_class)[v] >= 0) {
+      out << " [style=filled, fillcolor=\""
+          << kPalette[(*style.node_class)[v] % kPalette.size()] << "\"]";
+    }
+    out << ";\n";
+  }
+  const char* connector = directed ? " -> " : " -- ";
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    auto [u, v] = g.endpoints(e);
+    if (directed) {
+      const NodeId t = (*style.tails)[e];
+      LRDIP_CHECK(t == u || t == v);
+      if (t != u) std::swap(u, v);
+    }
+    out << "  " << u << connector << v;
+    std::string attrs;
+    if (on_path_edge[e]) attrs += "penwidth=2.4, weight=10";
+    if (style.edge_attrs && !(*style.edge_attrs)[e].empty()) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += (*style.edge_attrs)[e];
+    }
+    if (!attrs.empty()) out << " [" << attrs << "]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const Graph& g, const DotStyle& style) {
+  std::ostringstream ss;
+  write_dot(ss, g, style);
+  return ss.str();
+}
+
+}  // namespace lrdip

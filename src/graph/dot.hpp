@@ -1,0 +1,35 @@
+// Graphviz DOT export for debugging and documentation.
+//
+// Styling hooks highlight the structures the protocols speak about: the
+// committed Hamiltonian path, edge orientations of an LR-sorting instance,
+// biconnected blocks, and nesting roles (longest left/right marks).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+struct DotStyle {
+  /// Drawn bold, ordered left to right (rank hints emitted).
+  std::optional<std::vector<NodeId>> path_order;
+  /// Directed rendering per edge (tail node id); undirected if absent.
+  std::optional<std::vector<NodeId>> tails;
+  /// Color classes per node (e.g. biconnected block ids); -1 = default.
+  std::optional<std::vector<int>> node_class;
+  /// Extra per-edge attributes (e.g. "color=red") by edge id.
+  std::optional<std::vector<std::string>> edge_attrs;
+  std::string graph_name = "lrdip";
+};
+
+/// Writes the graph in DOT format with the given styling.
+void write_dot(std::ostream& out, const Graph& g, const DotStyle& style = {});
+
+/// Convenience: DOT as a string.
+std::string to_dot(const Graph& g, const DotStyle& style = {});
+
+}  // namespace lrdip

@@ -1,0 +1,31 @@
+// Demoucron–Malgrange–Pertuiset planar embedder for biconnected graphs.
+//
+// The embedder maintains the face set of an embedded subgraph H and repeatedly
+// places a path of some fragment (bridge) of G relative to H into an
+// admissible face. It either produces the list of faces of a planar embedding
+// or reports that G is non-planar. O(n * m) — used for centralized baselines,
+// honest-prover preprocessing of certificate-free inputs, and tests; the large
+// benchmark instances come with generator-provided embeddings instead.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rotation.hpp"
+
+namespace lrdip {
+
+/// Faces of a planar embedding of a biconnected graph; each face is a simple
+/// cycle of nodes in boundary order.
+using FaceList = std::vector<std::vector<NodeId>>;
+
+/// Embeds a biconnected simple graph with n >= 3 (or any graph with m <= 1).
+/// Returns std::nullopt iff non-planar.
+std::optional<FaceList> demoucron_embed(const Graph& g);
+
+/// Converts the face list of a biconnected planar embedding into a rotation
+/// system on g.
+RotationSystem rotation_from_faces(const Graph& g, const FaceList& faces);
+
+}  // namespace lrdip

@@ -1,0 +1,54 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  LRDIP_CHECK(u >= 0 && u < n() && v >= 0 && v < n());
+  LRDIP_CHECK_MSG(u != v, "self-loops are not supported");
+  const EdgeId e = m();
+  edges_.emplace_back(u, v);
+  adj_[u].push_back({v, e});
+  adj_[v].push_back({u, e});
+  return e;
+}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return n() - 1;
+}
+
+NodeId Graph::other_end(EdgeId e, NodeId v) const {
+  const auto [a, b] = edges_[e];
+  LRDIP_CHECK(v == a || v == b);
+  return v == a ? b : a;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const Half& h : adj_[u]) {
+    if (h.to == v) return h.edge;
+  }
+  return -1;
+}
+
+bool Graph::is_simple() const {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [u, v] : edges_) {
+    const std::pair<NodeId, NodeId> key(std::min(u, v), std::max(u, v));
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+std::int64_t Graph::degree_sum() const {
+  std::int64_t s = 0;
+  for (NodeId v = 0; v < n(); ++v) s += degree(v);
+  return s;
+}
+
+}  // namespace lrdip

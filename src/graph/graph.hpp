@@ -1,0 +1,62 @@
+// Core graph representation.
+//
+// An undirected (multi)graph with stable edge ids. Nodes are 0..n-1, edges are
+// 0..m-1; every protocol, generator, and algorithm in the library speaks in
+// these ids. Parallel edges are permitted (the series-parallel reduction needs
+// them); `is_simple()` reports whether any are present.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lrdip {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// One directed half of an undirected edge, as seen from a node's adjacency
+/// list: the neighbor and the id of the connecting edge.
+struct Half {
+  NodeId to = -1;
+  EdgeId edge = -1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : adj_(n) {}
+
+  int n() const { return static_cast<int>(adj_.size()); }
+  int m() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge and returns its id. Self-loops are rejected.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// Adds a fresh isolated node and returns its id.
+  NodeId add_node();
+
+  std::span<const Half> neighbors(NodeId v) const { return adj_[v]; }
+  int degree(NodeId v) const { return static_cast<int>(adj_[v].size()); }
+
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const { return edges_[e]; }
+
+  /// The endpoint of e that is not v. v must be an endpoint of e.
+  NodeId other_end(EdgeId e, NodeId v) const;
+
+  /// O(deg) membership test; returns an edge id or -1.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return find_edge(u, v) != -1; }
+
+  bool is_simple() const;
+
+  /// Sum of degrees == 2m sanity helper used in tests.
+  std::int64_t degree_sum() const;
+
+ private:
+  std::vector<std::vector<Half>> adj_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace lrdip

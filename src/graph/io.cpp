@@ -1,0 +1,123 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw InvariantError("graph file, line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+GraphFile read_graph(std::istream& in) {
+  GraphFile gf;
+  std::string line;
+  int lineno = 0;
+  int n = -1, m = -1;
+  int edges_seen = 0;
+  std::vector<std::vector<EdgeId>> rotation_order;
+  bool in_rotation = false;
+  int rotation_rows = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;  // blank
+
+    if (tok == "graph") {
+      if (n != -1) parse_error(lineno, "duplicate graph header");
+      if (!(ss >> n >> m) || n < 0 || m < 0) parse_error(lineno, "bad graph header");
+      gf.graph = Graph(n);
+    } else if (tok == "e") {
+      if (n == -1) parse_error(lineno, "edge before graph header");
+      int u, v;
+      if (!(ss >> u >> v)) parse_error(lineno, "bad edge line");
+      if (u < 0 || u >= n || v < 0 || v >= n || u == v) parse_error(lineno, "bad endpoints");
+      gf.graph.add_edge(u, v);
+      ++edges_seen;
+    } else if (tok == "order") {
+      if (n == -1) parse_error(lineno, "order before graph header");
+      std::vector<NodeId> order;
+      int v;
+      while (ss >> v) order.push_back(v);
+      if (static_cast<int>(order.size()) != n) parse_error(lineno, "order must list n nodes");
+      gf.order = std::move(order);
+    } else if (tok == "tails") {
+      if (m == -1) parse_error(lineno, "tails before graph header");
+      std::vector<NodeId> tails;
+      int v;
+      while (ss >> v) tails.push_back(v);
+      if (static_cast<int>(tails.size()) != m) parse_error(lineno, "tails must list m entries");
+      gf.tails = std::move(tails);
+    } else if (tok == "rotation") {
+      if (n == -1) parse_error(lineno, "rotation before graph header");
+      in_rotation = true;
+      rotation_order.assign(n, {});
+    } else if (tok == "r") {
+      if (!in_rotation) parse_error(lineno, "'r' line outside a rotation section");
+      int v;
+      if (!(ss >> v) || v < 0 || v >= n) parse_error(lineno, "bad rotation node");
+      EdgeId e;
+      while (ss >> e) rotation_order[v].push_back(e);
+      ++rotation_rows;
+    } else {
+      parse_error(lineno, "unknown keyword '" + tok + "'");
+    }
+  }
+  if (n == -1) parse_error(lineno, "missing graph header");
+  if (edges_seen != m) parse_error(lineno, "edge count mismatch");
+  if (in_rotation) {
+    if (rotation_rows != n) parse_error(lineno, "rotation must cover every node");
+    gf.rotation = RotationSystem(gf.graph, std::move(rotation_order));
+  }
+  return gf;
+}
+
+GraphFile read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  LRDIP_CHECK_MSG(in.good(), "cannot open graph file: " + path);
+  return read_graph(in);
+}
+
+void write_graph(std::ostream& out, const GraphFile& gf) {
+  out << "graph " << gf.graph.n() << " " << gf.graph.m() << "\n";
+  for (EdgeId e = 0; e < gf.graph.m(); ++e) {
+    const auto [u, v] = gf.graph.endpoints(e);
+    out << "e " << u << " " << v << "\n";
+  }
+  if (gf.order) {
+    out << "order";
+    for (NodeId v : *gf.order) out << " " << v;
+    out << "\n";
+  }
+  if (gf.tails) {
+    out << "tails";
+    for (NodeId v : *gf.tails) out << " " << v;
+    out << "\n";
+  }
+  if (gf.rotation) {
+    out << "rotation\n";
+    for (NodeId v = 0; v < gf.graph.n(); ++v) {
+      out << "r " << v;
+      for (EdgeId e : gf.rotation->order_at(v)) out << " " << e;
+      out << "\n";
+    }
+  }
+}
+
+void write_graph_file(const std::string& path, const GraphFile& gf) {
+  std::ofstream out(path);
+  LRDIP_CHECK_MSG(out.good(), "cannot open graph file for writing: " + path);
+  write_graph(out, gf);
+}
+
+}  // namespace lrdip

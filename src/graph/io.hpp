@@ -1,0 +1,39 @@
+// Plain-text graph serialization.
+//
+// Format (whitespace/line oriented, '#' comments):
+//   graph <n> <m>
+//   e <u> <v>          x m          (0-based endpoints, edge ids in file order)
+// optional sections, each introduced by one keyword line:
+//   order <v0> <v1> ... <v_{n-1}>   (a Hamiltonian path / node ordering)
+//   rotation                         (then n lines: "r <v> <e1> <e2> ...")
+//   tails <t0> ... <t_{m-1}>         (orientation: tail node id per edge)
+//
+// Used by the CLI and the examples; intentionally minimal and strict.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rotation.hpp"
+
+namespace lrdip {
+
+struct GraphFile {
+  Graph graph;
+  std::optional<std::vector<NodeId>> order;
+  std::optional<RotationSystem> rotation;
+  std::optional<std::vector<NodeId>> tails;
+};
+
+/// Parses the format above. Throws InvariantError with a line-numbered
+/// message on malformed input.
+GraphFile read_graph(std::istream& in);
+GraphFile read_graph_file(const std::string& path);
+
+void write_graph(std::ostream& out, const GraphFile& gf);
+void write_graph_file(const std::string& path, const GraphFile& gf);
+
+}  // namespace lrdip

@@ -1,0 +1,156 @@
+#include "graph/outerplanar.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/biconnected.hpp"
+#include "graph/planarity.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+/// g plus one apex node adjacent to every original node.
+Graph with_apex(const Graph& g) {
+  Graph h(g.n() + 1);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    h.add_edge(u, v);
+  }
+  const NodeId apex = g.n();
+  for (NodeId v = 0; v < g.n(); ++v) h.add_edge(apex, v);
+  return h;
+}
+
+}  // namespace
+
+bool is_outerplanar(const Graph& g) {
+  if (g.n() <= 3) return g.is_simple();
+  // Outerplanar graphs have at most 2n - 3 edges.
+  if (g.m() > 2 * g.n() - 3) return false;
+  return is_planar(with_apex(g));
+}
+
+std::optional<std::vector<NodeId>> outerplanar_hamiltonian_cycle(const Graph& g) {
+  if (g.n() < 3) return std::nullopt;
+  if (!is_biconnected(g)) return std::nullopt;
+  const Graph h = with_apex(g);
+  const auto rot = planar_embedding(h);
+  if (!rot) return std::nullopt;
+  // The rotation at the apex orders the original nodes along the outer face.
+  const NodeId apex = g.n();
+  std::vector<NodeId> cycle;
+  for (EdgeId e : rot->order_at(apex)) cycle.push_back(h.other_end(e, apex));
+  LRDIP_CHECK(static_cast<int>(cycle.size()) == g.n());
+  for (int i = 0; i < g.n(); ++i) {
+    if (!g.has_edge(cycle[i], cycle[(i + 1) % g.n()])) return std::nullopt;
+  }
+  return cycle;
+}
+
+bool is_properly_nested(const Graph& g, const std::vector<NodeId>& order) {
+  if (!is_hamiltonian_path(g, order)) return false;
+  std::vector<int> pos(g.n());
+  for (int i = 0; i < g.n(); ++i) pos[order[i]] = i;
+
+  // Collect non-path edges as (left, right) position pairs.
+  std::vector<std::pair<int, int>> arcs;
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    auto [u, v] = g.endpoints(e);
+    int a = pos[u], b = pos[v];
+    if (a > b) std::swap(a, b);
+    if (b - a >= 2) arcs.emplace_back(a, b);
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](auto x, auto y) { return x.first != y.first ? x.first < y.first : x.second > y.second; });
+  std::vector<int> stack;  // right endpoints of open arcs
+  for (const auto& [a, b] : arcs) {
+    while (!stack.empty() && stack.back() <= a) stack.pop_back();
+    if (!stack.empty() && stack.back() < b) return false;  // crossing
+    stack.push_back(b);
+  }
+  return true;
+}
+
+std::optional<std::vector<NodeId>> brute_force_path_outerplanar_order(const Graph& g) {
+  LRDIP_CHECK_MSG(g.n() <= 10, "brute force is for tiny graphs only");
+  std::vector<NodeId> perm(g.n());
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    if (is_properly_nested(g, perm)) return perm;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return std::nullopt;
+}
+
+NestingStructure compute_nesting(const Graph& g, const std::vector<NodeId>& order) {
+  LRDIP_CHECK_MSG(is_properly_nested(g, order), "compute_nesting requires a nested instance");
+  const int n = g.n();
+  NestingStructure ns;
+  ns.position.assign(n, -1);
+  for (int i = 0; i < n; ++i) ns.position[order[i]] = i;
+  ns.is_path_edge.assign(g.m(), 0);
+  ns.successor.assign(g.m(), -1);
+  ns.above.assign(n, -1);
+  ns.longest_right.assign(g.m(), 0);
+  ns.longest_left.assign(g.m(), 0);
+
+  struct Arc {
+    int left, right;
+    EdgeId edge;
+  };
+  std::vector<Arc> arcs;
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    auto [u, v] = g.endpoints(e);
+    int a = ns.position[u], b = ns.position[v];
+    if (a > b) std::swap(a, b);
+    if (b == a + 1) {
+      ns.is_path_edge[e] = 1;
+    } else {
+      arcs.push_back({a, b, e});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& x, const Arc& y) {
+    return x.left != y.left ? x.left < y.left : x.right > y.right;
+  });
+
+  // Sweep the path once; the stack holds the currently open arcs, innermost on
+  // top. Arcs are opened at their left endpoint in outer-to-inner order, so
+  // the successor of an arc is simply the arc below it... i.e. the top of the
+  // stack at push time.
+  std::vector<Arc> stack;
+  std::size_t next_arc = 0;
+  for (int i = 0; i < n; ++i) {
+    while (!stack.empty() && stack.back().right == i) stack.pop_back();
+    // Strictly-containing innermost arc above position i.
+    ns.above[order[i]] = stack.empty() ? -1 : stack.back().edge;
+    while (next_arc < arcs.size() && arcs[next_arc].left == i) {
+      const Arc& a = arcs[next_arc];
+      ns.successor[a.edge] = stack.empty() ? -1 : stack.back().edge;
+      stack.push_back(a);
+      ++next_arc;
+    }
+  }
+  LRDIP_CHECK(next_arc == arcs.size());
+
+  // Longest left / right markings.
+  // longest u-right: the non-path right edge of u with the furthest endpoint;
+  // longest v-left: the non-path left edge of v with the furthest endpoint.
+  std::vector<EdgeId> best_right(n, -1), best_left(n, -1);
+  for (const Arc& a : arcs) {
+    const NodeId u = order[a.left];
+    const NodeId v = order[a.right];
+    // Arcs arrive sorted by (left asc, right desc): the first arc seen at u is
+    // its longest right edge, and the first arc ending at v is its longest
+    // left edge (smallest left endpoint).
+    if (best_right[u] == -1) best_right[u] = a.edge;
+    if (best_left[v] == -1) best_left[v] = a.edge;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (best_right[v] != -1) ns.longest_right[best_right[v]] = 1;
+    if (best_left[v] != -1) ns.longest_left[best_left[v]] = 1;
+  }
+  return ns;
+}
+
+}  // namespace lrdip

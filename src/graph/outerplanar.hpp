@@ -1,0 +1,48 @@
+// Outerplanarity and path-outerplanarity utilities.
+//
+// Centralized algorithms used by the honest prover and by the test oracles:
+// recognition (via the classic apex trick: G is outerplanar iff G plus a node
+// adjacent to everything is planar), Hamiltonian-cycle extraction for
+// biconnected outerplanar graphs, the properly-nested check for a Hamiltonian
+// path, and the nesting structure (successor / predecessor / above / longest
+// left-right edges) of Section 2 that drives the Section 5 protocol.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+/// True iff g is outerplanar (all nodes embeddable on the outer face).
+bool is_outerplanar(const Graph& g);
+
+/// For a biconnected outerplanar graph with n >= 3: the unique Hamiltonian
+/// cycle (boundary of the outer face). nullopt if g is not biconnected
+/// outerplanar.
+std::optional<std::vector<NodeId>> outerplanar_hamiltonian_cycle(const Graph& g);
+
+/// True iff `order` is a Hamiltonian path of g whose non-path edges are
+/// properly nested (drawable above the path without crossings).
+bool is_properly_nested(const Graph& g, const std::vector<NodeId>& order);
+
+/// Exhaustive search over Hamiltonian paths; usable only for tiny n (tests).
+std::optional<std::vector<NodeId>> brute_force_path_outerplanar_order(const Graph& g);
+
+/// The anatomy of a properly nested instance (Figure 1 of the paper):
+/// successors, the first-edge-above of every node, and longest left/right
+/// markings. Edge-indexed vectors hold -1 / 0 at path-edge positions.
+struct NestingStructure {
+  std::vector<NodeId> position;      // position of each node on the path
+  std::vector<char> is_path_edge;    // by edge id
+  std::vector<EdgeId> successor;     // by edge id; -1 == virtual edge, only for non-path edges
+  std::vector<EdgeId> above;         // by node id; -1 == virtual edge
+  std::vector<char> longest_right;   // edge is the longest u-right edge (u = left endpoint)
+  std::vector<char> longest_left;    // edge is the longest v-left edge (v = right endpoint)
+};
+
+/// Requires is_properly_nested(g, order). O(n + m log m).
+NestingStructure compute_nesting(const Graph& g, const std::vector<NodeId>& order);
+
+}  // namespace lrdip

@@ -1,0 +1,20 @@
+// General-graph planarity testing and embedding, built on the biconnected
+// embedder: each block is embedded separately and the rotations are merged at
+// cut vertices (blocks occupy disjoint angular sectors around a cut vertex).
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/rotation.hpp"
+
+namespace lrdip {
+
+/// True iff g (connected or not) is planar.
+bool is_planar(const Graph& g);
+
+/// A genus-0 rotation system for g, or nullopt if g is non-planar.
+/// g must be simple.
+std::optional<RotationSystem> planar_embedding(const Graph& g);
+
+}  // namespace lrdip

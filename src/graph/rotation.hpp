@@ -1,0 +1,58 @@
+// Combinatorial embeddings (rotation systems) and face tracing.
+//
+// A rotation system assigns every node a cyclic (clockwise) order of its
+// incident edges. Tracing faces of the rotation system and checking Euler's
+// formula n - m + f == 2 (per connected component, genus 0) is the centralized
+// ground truth for the planar-embedding task of Section 7.
+//
+// A RotationSystem holds only the per-node orders (it is freely movable and
+// copyable); functions that need the incidence structure take the graph
+// explicitly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+class RotationSystem {
+ public:
+  RotationSystem() = default;
+
+  /// Builds the rotation from explicit per-node edge orders. order[v] must be
+  /// a permutation of the ids of v's incident edges in g.
+  RotationSystem(const Graph& g, std::vector<std::vector<EdgeId>> order);
+
+  /// The trivial rotation induced by adjacency-list order.
+  static RotationSystem from_adjacency(const Graph& g);
+
+  const std::vector<EdgeId>& order_at(NodeId v) const { return order_[v]; }
+
+  /// rho_v(e): position of e in v's clockwise order.
+  int position(NodeId v, EdgeId e) const;
+
+  /// The edge after e in v's clockwise order.
+  EdgeId next_clockwise(NodeId v, EdgeId e) const;
+
+  /// The edge after e in v's counterclockwise order.
+  EdgeId next_counterclockwise(NodeId v, EdgeId e) const;
+
+  int n() const { return static_cast<int>(order_.size()); }
+
+ private:
+  std::vector<std::vector<EdgeId>> order_;
+};
+
+/// Number of faces traced by the rotation system (next-edge rule:
+/// arrive at v via e, leave via the next edge clockwise after e at v).
+int count_faces(const Graph& g, const RotationSystem& rot);
+
+/// True iff the rotation system is a genus-0 (planar) embedding of g:
+/// for a connected graph, n - m + f == 2.
+bool is_planar_embedding(const Graph& g, const RotationSystem& rot);
+
+/// Euler genus of the embedding: g = (2 - n + m - f) / 2 for connected graphs.
+int euler_genus(const Graph& g, const RotationSystem& rot);
+
+}  // namespace lrdip

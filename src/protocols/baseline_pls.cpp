@@ -1,0 +1,131 @@
+#include "protocols/baseline_pls.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "protocols/nesting.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+
+Outcome run_spanning_tree_baseline_pls(const Graph& g,
+                                       const std::vector<NodeId>& claimed_parent) {
+  const int n = g.n();
+  LRDIP_CHECK(n >= 1);
+  const int id_bits = bits_for_values(static_cast<std::uint64_t>(std::max(2, n)));
+
+  // Honest prover: root id + BFS-depth along the claimed structure. For a
+  // cheating structure the labels are still forced: the prover picks the
+  // best assignment, but distances must strictly decrease toward a root, so
+  // cycles are unlabelable and get caught deterministically.
+  std::vector<NodeId> root_of(n, -1);
+  std::vector<int> dist(n, -1);
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on current walk, 2 labeled
+  for (NodeId v = 0; v < n; ++v) {
+    if (state[v] == 2) continue;
+    std::vector<NodeId> chain;
+    NodeId x = v;
+    while (x != -1 && state[x] == 0) {
+      state[x] = 1;
+      chain.push_back(x);
+      x = claimed_parent[x];
+    }
+    if (x != -1 && state[x] == 1) {
+      // Cycle: no consistent distance labels exist; assign placeholders (the
+      // local checks will fail somewhere on the cycle).
+      for (NodeId c : chain) {
+        dist[c] = 0;
+        root_of[c] = c;
+        state[c] = 2;
+      }
+      continue;
+    }
+    int d = (x == -1) ? -1 : dist[x];
+    const NodeId r = (x == -1) ? chain.back() : root_of[x];
+    // chain runs v -> ... -> (child of x); unwind from the top.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      dist[*it] = ++d;
+      root_of[*it] = r;
+      state[*it] = 2;
+    }
+  }
+
+  bool all = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (claimed_parent[v] == -1) {
+      if (dist[v] != 0 || root_of[v] != v) all = false;
+    } else {
+      const NodeId p = claimed_parent[v];
+      if (dist[v] != dist[p] + 1 || root_of[v] != root_of[p]) all = false;
+    }
+    for (const Half& h : g.neighbors(v)) {
+      if (root_of[h.to] != root_of[v]) all = false;
+    }
+  }
+
+  Outcome o;
+  o.accepted = all;
+  o.rounds = 1;
+  o.proof_size_bits = 2 * id_bits;  // (root id, distance)
+  o.total_label_bits = static_cast<std::int64_t>(2 * id_bits) * n;
+  o.max_coin_bits = 0;
+  return o;
+}
+
+Outcome run_path_outerplanarity_pls(const Graph& g,
+                                    const std::optional<std::vector<NodeId>>& prover_order) {
+  const int n = g.n();
+  LRDIP_CHECK(n >= 2);
+  const int pos_bits = bits_for_values(static_cast<std::uint64_t>(n));
+
+  Outcome o;
+  o.rounds = 1;
+  // Label: position + the nesting fields with positions as names
+  // (name echo 2*pos, successor 2*pos+1, two gap covers).
+  const int nest_bits_per_node = 2 * (2 * pos_bits + 1);
+  const int nest_bits_per_arc = 1 + 2 + 2 * pos_bits + (2 * pos_bits + 1);
+  o.proof_size_bits = pos_bits + nest_bits_per_node + 5 * nest_bits_per_arc;  // worst node
+  o.max_coin_bits = 0;
+
+  if (!prover_order || !is_hamiltonian_path(g, *prover_order)) {
+    // The prover cannot label a Hamiltonian path: the +-1 position chain
+    // breaks at some node deterministically.
+    o.accepted = false;
+    o.total_label_bits = static_cast<std::int64_t>(o.proof_size_bits) * n;
+    return o;
+  }
+  const std::vector<NodeId>& order = *prover_order;
+  std::vector<std::uint64_t> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = static_cast<std::uint64_t>(i);
+
+  // Position chain checks (deterministic).
+  bool ok = true;
+  for (NodeId v = 0; v < n; ++v) {
+    int below = 0, above = 0;
+    for (const Half& h : g.neighbors(v)) {
+      if (position[h.to] == position[v]) ok = false;
+      if (position[h.to] + 1 == position[v]) ++below;
+      if (position[h.to] == position[v] + 1) ++above;
+    }
+    if (position[v] > 0 && below != 1) ok = false;
+    if (above > 1) ok = false;
+  }
+
+  // Nesting with full positions as name fragments: the deterministic FFM+21
+  // scheme. Positions are distinct, so every relay equality is exact.
+  const StageResult nest = nesting_stage_with_fragments(g, order, position, pos_bits);
+  o.accepted = ok && nest.all_accept();
+  // Account the actual label volume: the position plus the nesting fields.
+  o.total_label_bits = 0;
+  int max_node = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const int bits = pos_bits + nest.node_bits[v];
+    o.total_label_bits += bits;
+    max_node = std::max(max_node, bits);
+  }
+  o.proof_size_bits = max_node;
+  return o;
+}
+
+}  // namespace lrdip

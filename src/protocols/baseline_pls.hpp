@@ -1,0 +1,41 @@
+// One-round proof labeling schemes (the non-interactive baselines).
+//
+// These are real distributed schemes — honest-prover label assignment plus
+// per-node local decision rules — not oracle stubs. They realize the
+// Theta(log n) baselines the paper compares against:
+//
+//  * spanning-tree PLS (KKP10-style): root id + distance labels, the
+//    classical O(log n) scheme (contrast with the 3-round O(1)-bit Lemma 2.5
+//    protocol).
+//  * path-outerplanarity PLS (FFM+21-style): every node carries its path
+//    position and the positions of the endpoints of the first edge drawn
+//    above it; deterministic local checks certify the Hamiltonian path and
+//    the nesting. 3 ceil(log n) + O(1) bits.
+//
+// Both have perfect completeness and deterministic soundness. They anchor the
+// E-SEP separation experiment with measured (not assumed) baselines.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dip/store.hpp"
+#include "graph/graph.hpp"
+#include "protocols/stage.hpp"
+
+namespace lrdip {
+
+/// KKP10 spanning-tree scheme: verifies that `claimed_parent` forms one tree
+/// spanning the (connected) graph. Labels: (root id, distance); checks:
+/// root's distance 0 and id its own; every non-root's parent has distance one
+/// less and the same root id; neighbors agree on the root id.
+Outcome run_spanning_tree_baseline_pls(const Graph& g,
+                                       const std::vector<NodeId>& claimed_parent);
+
+/// FFM+21 path-outerplanarity scheme over the committed order (the honest
+/// prover's certificate; a no-instance without a Hamiltonian path yields
+/// rejection through the position checks of the best-effort labeling).
+Outcome run_path_outerplanarity_pls(const Graph& g,
+                                    const std::optional<std::vector<NodeId>>& prover_order);
+
+}  // namespace lrdip

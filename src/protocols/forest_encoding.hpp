@@ -1,0 +1,54 @@
+// Lemma 2.3: constant-size distributed encoding of a rooted spanning forest.
+//
+// The prover communicates a rooted forest F of a planar graph G with O(1) bits
+// per node: the color of the node's supernode in the two contracted graphs
+// G_odd / G_even (edges from odd- resp. even-depth nodes to their parents
+// contracted) plus the node's depth parity. Each node then recovers its parent
+// and children from its own code and its neighbors' codes alone. Note this is
+// pure communication — F is NOT certified here (Lemma 2.5 does that).
+//
+// Substitution (DESIGN.md §5): the paper 4-colors the planar contractions; we
+// greedy-color in degeneracy order (<= 6 colors on planar inputs). Codes stay
+// O(1) bits.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+struct ForestCode {
+  int c1 = 0;      // color in G_odd's contraction
+  int c2 = 0;      // color in G_even's contraction
+  int parity = 0;  // depth mod 2
+};
+
+struct ForestEncoding {
+  std::vector<ForestCode> code;  // per node
+  int color_bits = 0;            // bits per color field
+
+  int bits_per_node() const { return 2 * color_bits + 1; }
+};
+
+/// Honest-prover encoding of the forest given by `parent` (-1 for roots; all
+/// parents must be neighbors in g).
+ForestEncoding encode_forest(const Graph& g, const std::vector<NodeId>& parent);
+
+/// Node-local decoding: the claimed parent of v (-1 if none matches, i.e. v
+/// presents as a root). `code_of` may only be called on v and v's neighbors —
+/// callers pass a closure over the labels visible at v.
+NodeId decode_forest_parent(const Graph& g, NodeId v,
+                            const std::function<ForestCode(NodeId)>& code_of);
+
+/// Node-local decoding of v's claimed children.
+std::vector<NodeId> decode_forest_children(const Graph& g, NodeId v,
+                                           const std::function<ForestCode(NodeId)>& code_of);
+
+/// True if more than one neighbor matches the parent rule — an inconsistent
+/// encoding the verifier must reject.
+bool forest_parent_ambiguous(const Graph& g, NodeId v,
+                             const std::function<ForestCode(NodeId)>& code_of);
+
+}  // namespace lrdip

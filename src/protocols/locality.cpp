@@ -1,0 +1,54 @@
+#include "protocols/locality.hpp"
+
+#include <deque>
+
+#include "graph/algorithms.hpp"
+#include "graph/planarity.hpp"
+
+namespace lrdip {
+namespace {
+
+Subgraph ball(const Graph& g, NodeId center, int radius) {
+  std::vector<int> dist(g.n(), -1);
+  std::deque<NodeId> queue{center};
+  dist[center] = 0;
+  std::vector<NodeId> nodes{center};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (dist[v] == radius) continue;
+    for (const Half& h : g.neighbors(v)) {
+      if (dist[h.to] == -1) {
+        dist[h.to] = dist[v] + 1;
+        nodes.push_back(h.to);
+        queue.push_back(h.to);
+      }
+    }
+  }
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (dist[u] != -1 && dist[v] != -1) edges.push_back(e);
+  }
+  return make_subgraph(g, nodes, edges);
+}
+
+}  // namespace
+
+bool all_balls_planar(const Graph& g, int radius) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (!is_planar(ball(g, v, radius).graph)) return false;
+  }
+  return true;
+}
+
+int planar_ball_radius(const Graph& g, NodeId center, int max_radius) {
+  for (int r = 1; r <= max_radius; ++r) {
+    const Subgraph b = ball(g, center, r);
+    if (!is_planar(b.graph)) return r - 1;
+    if (b.graph.n() == g.n()) return max_radius;
+  }
+  return max_radius;
+}
+
+}  // namespace lrdip

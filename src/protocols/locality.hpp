@@ -1,0 +1,23 @@
+// The Section 3 "clustering approach fails" demonstration.
+//
+// The paper's technical overview explains why the natural cluster-and-verify
+// approach cannot certify planarity: a no-instance can subdivide each K5
+// edge so its branch nodes are Omega(n) apart — every polylog-radius ball is
+// planar, so no cluster-local check distinguishes it from a yes-instance.
+// This module measures that locality barrier directly.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+/// True iff the subgraph induced by the radius-r ball around every node is
+/// planar. For the paper's stretched no-instances this stays true for r up
+/// to the subdivision length even though G itself is non-planar.
+bool all_balls_planar(const Graph& g, int radius);
+
+/// Radius of the largest ball around `center` that is still planar (searches
+/// upward until the ball goes non-planar or swallows the graph).
+int planar_ball_radius(const Graph& g, NodeId center, int max_radius);
+
+}  // namespace lrdip

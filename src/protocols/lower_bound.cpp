@@ -1,0 +1,76 @@
+#include "protocols/lower_bound.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "gen/generators.hpp"
+#include "protocols/nesting.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+
+LowerBoundFamily lower_bound_family(int n) {
+  LRDIP_CHECK(n >= 8);
+  LowerBoundFamily fam;
+  fam.n = n;
+  // Chord (t, t + n/2); any two distinct offsets in [0, n/2 - 1) cross.
+  for (int t = 0; t + 1 < n / 2; ++t) fam.chord_offsets.push_back(t);
+  return fam;
+}
+
+Graph lower_bound_yes_instance(const LowerBoundFamily& fam, int idx) {
+  Graph g = cycle_graph(fam.n);
+  const int t = fam.chord_offsets[idx];
+  g.add_edge(t, t + fam.n / 2);
+  return g;
+}
+
+Graph lower_bound_spliced_no_instance(const LowerBoundFamily& fam, int idx1, int idx2) {
+  LRDIP_CHECK(idx1 != idx2);
+  Graph g = cycle_graph(fam.n);
+  const int t1 = fam.chord_offsets[idx1];
+  const int t2 = fam.chord_offsets[idx2];
+  g.add_edge(t1, t1 + fam.n / 2);
+  g.add_edge(t2, t2 + fam.n / 2);
+  return g;
+}
+
+std::int64_t count_label_collisions(const LowerBoundFamily& fam, int label_bits) {
+  LRDIP_CHECK(label_bits >= 0 && label_bits < 63);
+  const std::uint64_t mod = std::uint64_t{1} << label_bits;
+  std::map<std::uint64_t, std::int64_t> count_by_residue;
+  for (int t : fam.chord_offsets) count_by_residue[static_cast<std::uint64_t>(t) % mod] += 1;
+  std::int64_t collisions = 0;
+  for (const auto& [residue, c] : count_by_residue) {
+    (void)residue;
+    collisions += c * (c - 1);  // ordered pairs
+  }
+  return collisions;
+}
+
+double truncated_pls_acceptance(const LowerBoundFamily& fam, int label_bits, int trials,
+                                Rng& rng) {
+  LRDIP_CHECK(label_bits >= 1 && label_bits <= 60);
+  const std::uint64_t mask = (std::uint64_t{1} << label_bits) - 1;
+  int accepted = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const int idx1 = static_cast<int>(rng.uniform(fam.chord_offsets.size()));
+    int idx2 = static_cast<int>(rng.uniform(fam.chord_offsets.size()));
+    while (idx2 == idx1) idx2 = static_cast<int>(rng.uniform(fam.chord_offsets.size()));
+    const Graph g = lower_bound_spliced_no_instance(fam, idx1, idx2);
+    // The spliced graph still has the cycle's Hamiltonian path 0..n-1; the
+    // deterministic b-bit scheme uses truncated positions as name fragments.
+    std::vector<NodeId> order(g.n());
+    std::vector<std::uint64_t> frag(g.n());
+    for (int i = 0; i < g.n(); ++i) {
+      order[i] = i;
+      frag[i] = static_cast<std::uint64_t>(i) & mask;
+    }
+    const StageResult res = nesting_stage_with_fragments(g, order, frag, label_bits);
+    accepted += res.all_accept() ? 1 : 0;
+  }
+  return static_cast<double>(accepted) / trials;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,62 @@
+// Theorem 1.8: the Omega(log n) one-round lower bound, as an experiment.
+//
+// The theorem says that any one-round DIP (even with a randomized verifier
+// and shared randomness) for the families in this paper needs Omega(log n)
+// bit labels. Its mechanism is a cut-and-paste argument: take a family of
+// pairwise "crossable" biconnected-outerplanar yes-instances; with labels
+// shorter than log n, two distinct yes-instances receive identical label
+// patterns around a small cut, and splicing them yields a non-planar graph
+// that every node accepts.
+//
+// This module realizes that mechanism empirically:
+//   * `LowerBoundFamily` builds the yes-instances (cycles with a single chord
+//     at a parameterized offset — pairwise splicing two different offsets
+//     creates crossing chords, a K4 subdivision);
+//   * `count_label_collisions` runs a given labeling width b and counts how
+//     many pairs of yes-instances become indistinguishable at the cut — the
+//     quantity that must be nonzero once b < log2(family size);
+//   * `truncated_pls_acceptance` measures the acceptance rate of spliced
+//     no-instances under the natural b-bit truncated-position labeling (the
+//     best known sub-log scheme), exhibiting the phase transition at
+//     b ~ log2 n.
+//
+// This is an illustration of the theorem's counting argument, not a proof:
+// it quantifies over one natural scheme plus the information-theoretic
+// collision count, and is reported as such in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+struct LowerBoundFamily {
+  int n = 0;                     // cycle length
+  std::vector<int> chord_offsets;  // one yes-instance per offset
+};
+
+/// Yes-instance family: cycle 0..n-1 with chord (0, offset).
+LowerBoundFamily lower_bound_family(int n);
+
+Graph lower_bound_yes_instance(const LowerBoundFamily& fam, int idx);
+
+/// Splices instances idx1 and idx2: the cycle keeps both chords — crossing
+/// chords, hence a K4 subdivision (a no-instance for every family in the
+/// paper).
+Graph lower_bound_spliced_no_instance(const LowerBoundFamily& fam, int idx1, int idx2);
+
+/// Number of ordered pairs (i, j), i != j, whose b-bit labels agree on the
+/// chord endpoints under the truncated-position labeling. Nonzero collisions
+/// are exactly the cut-and-paste ammunition.
+std::int64_t count_label_collisions(const LowerBoundFamily& fam, int label_bits);
+
+/// Acceptance rate of spliced no-instances under the b-bit truncated-position
+/// proof labeling scheme (verifier checks positions mod 2^b around every
+/// node and chord consistency). Sampled over `trials` random splices.
+double truncated_pls_acceptance(const LowerBoundFamily& fam, int label_bits, int trials,
+                                Rng& rng);
+
+}  // namespace lrdip

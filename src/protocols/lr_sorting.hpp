@@ -1,0 +1,93 @@
+// Section 4: the LR-sorting distributed interactive proof (Lemma 4.1 / 4.2).
+//
+// Instance: a directed graph whose underlying undirected graph carries a known
+// Hamiltonian path P (each node knows its incident path edges and the path
+// direction). Yes-instances direct every non-path edge from left to right.
+//
+// The protocol (5 interaction rounds, O(log log n) proof size, perfect
+// completeness, 1/polylog n soundness error):
+//
+//   R1 (prover):   block construction — the path is cut into blocks of
+//                  ceil(log n) consecutive nodes (the last block absorbs the
+//                  remainder, < 2 ceil(log n)); each node gets its in-block
+//                  index, one bit of pos(b) and one of pos(b)+1, its relation
+//                  to the "increment pivot" v_b, the edge classification
+//                  (inner/outer) and, for outer edges, the claimed
+//                  distinguishing index I(pos(b_u), pos(b_v)); plus the
+//                  multiplicity M_v used by the verification scheme.
+//   R2 (verifier): the leftmost path node draws r, r' in F_p; the leftmost
+//                  node of every block draws r_b in F_p.
+//   R3 (prover):   echoes of r, r', r_b; the adjacent-block multiset-equality
+//                  aggregates A2 (left-to-right over the x2 bits) and A1
+//                  (right-to-left over the x1 bits); the prefix evaluations
+//                  P_i = phi^b_i(r'); and per outer edge the claimed value
+//                  j = phi^b_{I-1}(r').
+//   R4 (verifier): the leftmost path node draws z in F_{p'}.
+//   R5 (prover):   echo of z and the four in-block aggregation chains of the
+//                  verification scheme (C1 vs D1-with-multiplicities, C0 vs
+//                  D0-with-multiplicities) evaluated at z.
+//
+// For n < 2 ceil(log n) the protocol degenerates to the trivial one-round
+// position-labeling proof (O(log n) bits — constant-size inputs).
+//
+// Edge labels are charged to an accountable endpoint chosen along a
+// degeneracy orientation (the Lemma 2.4 simulation; <= 5 edges per node on
+// planar instances), plus a constant per-node framing charge for the forest
+// codes the simulation ships.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dip/store.hpp"
+#include "graph/graph.hpp"
+#include "protocols/stage.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+struct LrSortingInstance {
+  const Graph* graph = nullptr;
+  /// Ground-truth left-to-right order of the Hamiltonian path. The simulated
+  /// nodes only "know" their incident path edges and the path direction; the
+  /// full order is the simulation's bookkeeping handle.
+  std::vector<NodeId> order;
+  /// Orientation: edge e is directed tail[e] -> head.
+  std::vector<NodeId> tail;
+};
+
+struct LrParams {
+  /// Soundness exponent: the PIT fields have p > log^c n elements.
+  int c = 3;
+};
+
+/// Optional adversarial deviations beyond the instance's own lie. Each knob
+/// targets one verification stage, so the soundness experiments can attribute
+/// rejections.
+struct LrCheatSpec {
+  /// Corrupt the position encoding of one block by +1 (exercises the
+  /// block-construction stage's soundness instead of the comparison stage's).
+  bool shift_block = false;
+  /// Reclassify one truthful cross-block edge as inner-block (exercises the
+  /// r_b block-identity check; wins only on an r_b collision).
+  bool misclassify_edge = false;
+  /// Overstate one multiplicity M_v by one (exercises the verification-scheme
+  /// multiset equality; wins only on a PIT collision at z).
+  bool corrupt_multiplicity = false;
+};
+
+/// Rounds the full protocol uses.
+inline constexpr int kLrSortingRounds = 5;
+
+StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
+                             const LrCheatSpec* cheat = nullptr);
+
+Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
+                       const LrCheatSpec* cheat = nullptr);
+
+/// Baseline: the trivial one-round proof labeling scheme that writes every
+/// node's path position (Theta(log n) bits). Deterministic and sound; the
+/// comparison point for the separation experiment.
+Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst);
+
+}  // namespace lrdip

@@ -1,0 +1,78 @@
+#include "protocols/multiset_equality_labeled.hpp"
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tree,
+                                         const MultisetEqualityInput& in, Rng& rng) {
+  using L = MeLabeledLayout;
+  const int n = g.n();
+  const Fp f = multiset_equality_field(in.size_bound, in.universe_exponent);
+  const int fbits = f.element_bits();
+
+  NodeId root = -1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree.parent[v] == -1 && tree.depth[v] == 0) root = v;
+  }
+  LRDIP_CHECK(root != -1);
+  const auto children = children_of(tree);
+
+  LabelStore labels(g, 2);
+  CoinStore coins(g, 2);
+
+  // --- Round 0 (verifier): the root samples z.
+  const std::uint64_t z = coins.draw(L::kRoundCoins, root, 1, f.modulus(), fbits, rng)[0];
+
+  // --- Round 1 (prover): subtree aggregates bottom-up, plus the z echo.
+  std::vector<std::uint64_t> a1(n), a2(n);
+  for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint64_t p1 = f.multiset_poly(in.s1[v], z);
+    std::uint64_t p2 = f.multiset_poly(in.s2[v], z);
+    for (NodeId c : children[v]) {
+      p1 = f.mul(p1, a1[c]);
+      p2 = f.mul(p2, a2[c]);
+    }
+    a1[v] = p1;
+    a2[v] = p2;
+    Label l;
+    l.put(z, fbits).put(p1, fbits).put(p2, fbits);
+    labels.assign_node(L::kRoundResponse, v, std::move(l));
+  }
+
+  // --- Decision via NodeViews: the z relay, the product recurrences, the
+  // root comparison.
+  bool all = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeView view(labels, coins, v);
+    const Label& mine = view.own(L::kRoundResponse);
+    const std::uint64_t zv = mine.get(L::kFieldZ);
+    bool ok = true;
+    if (v == root) {
+      ok = ok && (zv == view.own_coins(L::kRoundCoins)[0]);
+      ok = ok && (mine.get(L::kFieldA1) == mine.get(L::kFieldA2));
+    } else {
+      ok = ok && (view.of_neighbor(L::kRoundResponse, tree.parent[v]).get(L::kFieldZ) == zv);
+    }
+    std::uint64_t p1 = f.multiset_poly(in.s1[v], zv);
+    std::uint64_t p2 = f.multiset_poly(in.s2[v], zv);
+    for (NodeId c : children[v]) {
+      const Label& cl = view.of_neighbor(L::kRoundResponse, c);
+      p1 = f.mul(p1, cl.get(L::kFieldA1));
+      p2 = f.mul(p2, cl.get(L::kFieldA2));
+    }
+    ok = ok && (mine.get(L::kFieldA1) == p1) && (mine.get(L::kFieldA2) == p2);
+    if (!ok) all = false;
+  }
+
+  Outcome o;
+  o.accepted = all;
+  o.rounds = 2;
+  o.proof_size_bits = labels.proof_size_bits();
+  o.total_label_bits = labels.total_label_bits();
+  o.max_coin_bits = coins.max_coin_bits();
+  return o;
+}
+
+}  // namespace lrdip

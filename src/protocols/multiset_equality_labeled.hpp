@@ -1,0 +1,26 @@
+// Reference implementation of the Lemma 2.6 multiset-equality protocol
+// against the dip:: substrate (LabelStore / CoinStore / NodeView), mirroring
+// protocols/spanning_tree_labeled.hpp. Serves as the executable specification
+// the array implementation is cross-checked against, and as a second
+// demonstration of the locality-enforced execution path.
+#pragma once
+
+#include "dip/store.hpp"
+#include "graph/algorithms.hpp"
+#include "protocols/multiset_equality.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+struct MeLabeledLayout {
+  static constexpr int kRoundCoins = 0;     // verifier: z at the root
+  static constexpr int kRoundResponse = 1;  // prover: z echo + A1 + A2
+  static constexpr std::size_t kFieldZ = 0;
+  static constexpr std::size_t kFieldA1 = 1;
+  static constexpr std::size_t kFieldA2 = 2;
+};
+
+Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tree,
+                                         const MultisetEqualityInput& in, Rng& rng);
+
+}  // namespace lrdip

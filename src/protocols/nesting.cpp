@@ -1,0 +1,222 @@
+// See path_outerplanarity.cpp's preamble for the locally checkable statement
+// of the nesting conditions implemented here.
+#include "protocols/nesting.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/degeneracy.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+
+int nesting_fragment_bits(int n, int c) {
+  const int loglog = std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                  std::max(2, ceil_log2(std::max(2, n))))));
+  return std::min(60, std::max(4, c * loglog));
+}
+
+namespace {
+
+/// A (possibly bottom) edge name: the pair of endpoint fragments.
+struct Name {
+  std::uint64_t a = 0, b = 0;
+  bool bottom = true;
+  friend bool operator==(const Name&, const Name&) = default;
+};
+
+}  // namespace
+
+StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng) {
+  const int n = g.n();
+  const int ls = nesting_fragment_bits(n, c);
+  const std::uint64_t smask = (ls == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << ls) - 1);
+  // --- R2 (verifier): name fragments.
+  std::vector<std::uint64_t> s(n);
+  for (NodeId v = 0; v < n; ++v) s[v] = rng.next_u64() & smask;
+  return nesting_stage_with_fragments(g, order, s, ls);
+}
+
+StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeId>& order,
+                                         const std::vector<std::uint64_t>& s, int ls) {
+  const int n = g.n();
+  std::vector<int> pos(n);
+  for (int i = 0; i < n; ++i) pos[order[i]] = i;
+
+  struct Arc {
+    int l, r;
+    EdgeId e;
+  };
+  std::vector<Arc> arcs;
+  std::vector<char> is_path(g.m(), 0);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    int a = pos[u], b = pos[v];
+    if (a > b) std::swap(a, b);
+    if (b - a == 1) {
+      is_path[e] = 1;
+    } else {
+      arcs.push_back({a, b, e});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](const Arc& x, const Arc& y) { return x.l != y.l ? x.l < y.l : x.r > y.r; });
+
+  // --- R1 (prover): truthful longest-left/right marks.
+  std::vector<char> longest_right(g.m(), 0), longest_left(g.m(), 0);
+  {
+    std::vector<EdgeId> best_r(n, -1), best_l(n, -1);
+    for (const Arc& a : arcs) {
+      if (best_r[order[a.l]] == -1) best_r[order[a.l]] = a.e;  // sorted: first is longest
+      if (best_l[order[a.r]] == -1) best_l[order[a.r]] = a.e;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (best_r[v] != -1) longest_right[best_r[v]] = 1;
+      if (best_l[v] != -1) longest_left[best_l[v]] = 1;
+    }
+  }
+
+  // --- R3 (prover): names, successors, gap covers — via a crossing-tolerant
+  // sweep (exact on properly nested instances).
+  auto name_of = [&](EdgeId e) {
+    const auto [u, v] = g.endpoints(e);
+    const NodeId left = pos[u] < pos[v] ? u : v;
+    const NodeId right = pos[u] < pos[v] ? v : u;
+    return Name{s[left], s[right], false};
+  };
+  std::vector<Name> succ(g.m());  // bottom by default
+  std::vector<Name> above_r(n), above_l(n);
+  {
+    std::vector<Arc> stack;
+    std::size_t next_arc = 0;
+    for (int i = 0; i < n; ++i) {
+      // Close arcs ending here (crossers may sit below the top; erase them all).
+      std::erase_if(stack, [&](const Arc& a) { return a.r <= i; });
+      while (next_arc < arcs.size() && arcs[next_arc].l == i) {
+        const Arc& a = arcs[next_arc];
+        succ[a.e] = stack.empty() ? Name{} : name_of(stack.back().e);
+        stack.push_back(a);
+        ++next_arc;
+      }
+      const Name gap = stack.empty() ? Name{} : name_of(stack.back().e);
+      above_r[order[i]] = gap;
+      if (i + 1 < n) above_l[order[i + 1]] = gap;
+    }
+    above_l[order[0]] = Name{};
+    above_r[order[n - 1]] = Name{};
+  }
+
+  // --- Decision.
+  StageResult out;
+  out.node_accepts.assign(n, 1);
+  out.node_bits.assign(n, 0);
+  out.coin_bits.assign(n, ls);
+  out.rounds = 3;
+
+  // Chain existence: does some ordering of `edges` satisfy C1/C2? DFS over
+  // name matches (branching only on fragment collisions).
+  auto chain_exists = [&](const std::vector<EdgeId>& edges, const Name& anchor,
+                          const std::vector<char>& longest_mark) {
+    const std::size_t k = edges.size();
+    std::vector<char> used(k, 0);
+    std::function<bool(const Name&, std::size_t)> walk = [&](const Name& want,
+                                                             std::size_t depth) {
+      if (want.bottom) return false;
+      for (std::size_t t = 0; t < k; ++t) {
+        if (used[t] || !(name_of(edges[t]) == want)) continue;
+        used[t] = 1;
+        const bool last = depth + 1 == k;
+        bool ok;
+        if (last) {
+          ok = longest_mark[edges[t]] != 0;
+        } else {
+          ok = !longest_mark[edges[t]] && walk(succ[edges[t]], depth + 1);
+        }
+        if (ok) return true;
+        used[t] = 0;
+      }
+      return false;
+    };
+    return walk(anchor, 0);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    bool ok = true;
+    std::vector<EdgeId> right_edges, left_edges;
+    for (const Half& h : g.neighbors(v)) {
+      if (is_path[h.edge]) continue;
+      (pos[h.to] > pos[v] ? right_edges : left_edges).push_back(h.edge);
+    }
+    // C5: marks.
+    int marked_r = 0, marked_l = 0;
+    for (EdgeId e : right_edges) {
+      marked_r += longest_right[e] ? 1 : 0;
+      if (!longest_right[e] && !longest_left[e]) ok = false;
+    }
+    for (EdgeId e : left_edges) {
+      marked_l += longest_left[e] ? 1 : 0;
+      if (!longest_left[e] && !longest_right[e]) ok = false;
+    }
+    if (!right_edges.empty() && marked_r != 1) ok = false;
+    if (!left_edges.empty() && marked_l != 1) ok = false;
+    // C1/C2 chains (only meaningful if marks are sane).
+    Name succ_right{}, succ_left{};  // succ of the longest edges
+    if (ok && !right_edges.empty()) {
+      ok = ok && chain_exists(right_edges, above_r[v], longest_right);
+      for (EdgeId e : right_edges) {
+        if (longest_right[e]) succ_right = succ[e];
+      }
+    }
+    if (ok && !left_edges.empty()) {
+      ok = ok && chain_exists(left_edges, above_l[v], longest_left);
+      for (EdgeId e : left_edges) {
+        if (longest_left[e]) succ_left = succ[e];
+      }
+    }
+    // C3.
+    if (ok) {
+      if (!right_edges.empty() && !left_edges.empty()) {
+        ok = succ_right == succ_left;
+      } else if (!right_edges.empty()) {
+        ok = above_l[v] == succ_right;
+      } else if (!left_edges.empty()) {
+        ok = above_r[v] == succ_left;
+      } else {
+        ok = above_l[v] == above_r[v];
+      }
+    }
+    // C4 with the right path neighbor (both endpoints of the gap check it).
+    const int i = pos[v];
+    if (i + 1 < n && !(above_r[v] == above_l[order[i + 1]])) ok = false;
+    if (i == 0 && !above_l[v].bottom) ok = false;
+    if (i == n - 1 && !above_r[v].bottom) ok = false;
+    if (!ok) out.node_accepts[v] = 0;
+  }
+
+  // --- Accounting.
+  const int name_bits = 2 * ls;      // echo of (s_u, s_v)
+  const int succ_bits = 2 * ls + 1;  // successor name + bottom flag
+  const std::vector<NodeId> acc = [&] {
+    const auto [ord, d] = degeneracy_order(g);
+    (void)d;
+    std::vector<int> rank(g.n());
+    for (int t = 0; t < g.n(); ++t) rank[ord[t]] = t;
+    std::vector<NodeId> a(g.m());
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const auto [x, y] = g.endpoints(e);
+      a[e] = rank[x] < rank[y] ? x : y;
+    }
+    return a;
+  }();
+  for (NodeId v = 0; v < n; ++v) {
+    out.node_bits[v] += 2 * succ_bits;  // above_left / above_right
+  }
+  for (const Arc& a : arcs) {
+    // orientation bit (1), longest marks (2), name echo, successor.
+    out.node_bits[acc[a.e]] += 1 + 2 + name_bits + succ_bits;
+  }
+  return out;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,34 @@
+// Stage C of the Section 5 protocol: nesting verification over a committed
+// Hamiltonian path, reusable by the outerplanarity (Section 6), planar
+// embedding (Section 7) and series-parallel (Section 8) reductions.
+//
+// See path_outerplanarity.cpp's preamble for the locally-checkable statement
+// of the paper's conditions (1)-(5) that this stage implements. 3 interaction
+// rounds: prover marks, verifier samples name fragments, prover sends
+// names / successors / gap covers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "protocols/stage.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+/// Runs the nesting-verification stage on graph g whose Hamiltonian path is
+/// `order`. The (simulated) prover is best-effort: truthful marks and a
+/// crossing-tolerant sweep, which is exact when the instance nests properly.
+StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng);
+
+/// Same checks with externally supplied per-node name fragments of width
+/// `frag_bits` (used by the Theorem 1.8 experiment, where fragments are
+/// truncated positions instead of random strings).
+StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeId>& order,
+                                         const std::vector<std::uint64_t>& fragments,
+                                         int frag_bits);
+
+/// Name-fragment width used by the stage: Theta(c log log n).
+int nesting_fragment_bits(int n, int c);
+
+}  // namespace lrdip

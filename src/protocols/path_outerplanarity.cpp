@@ -1,0 +1,189 @@
+// Implementation notes — locally checkable nesting conditions.
+//
+// The paper states conditions (1)-(5) with a single above(v) field. Checked
+// literally, the "otherwise" branches of (4)/(5) compare above() values of
+// path neighbors across a gap whose covering edge ends at one of them, which
+// is not satisfied by the gap-rule label assignment of Section 5. We
+// implement the equivalent locally-checkable form the soundness proofs
+// actually use — each node carries the name of the innermost edge covering
+// the path gap on each of its sides:
+//
+//   above_right(v) = name of the innermost edge covering the gap (v, succ(v));
+//   above_left(v)  = mirrored. Bottom at the path ends.
+//
+// Checks at v (R/L = v's right/left non-path edges):
+//   (C1) R != {}: unique longest-right mark; the chain e1,..,ek with
+//        name(e1) = above_right(v), succ(ei) = name(e_{i+1}) covers R exactly
+//        and ends at the marked longest edge.
+//   (C2) mirrored for L with above_left(v).
+//   (C3) R,L != {}: succ(ek+) == succ(ek-);  R only: above_left(v)==succ(ek+);
+//        L only: above_right(v)==succ(ek-);  neither: above_left==above_right.
+//   (C4) across every path edge (v,u): above_right(v) == above_left(u);
+//        above_left(leftmost) == bottom == above_right(rightmost).
+//   (C5) every unmarked right edge is marked longest-left at its other end
+//        (Observation 2.1), and name echoes match the sampled fragments.
+//
+// These conditions hold with probability 1 under the honest assignment and
+// preserve the relay structure of Observations 5.2/5.3: equalities propagate
+// succ values across gaps node by node, pinning a cross-node equality of
+// independently sampled name fragments that a lying marking cannot satisfy
+// except with probability 2^-Theta(l). The stage itself lives in nesting.cpp
+// so the Section 6-8 reductions can reuse it.
+#include "protocols/path_outerplanarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/outerplanar.hpp"
+#include "protocols/forest_encoding.hpp"
+#include "protocols/lr_sorting.hpp"
+#include "protocols/nesting.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+/// Best-effort committed structure when no Hamiltonian path exists: a greedy
+/// path cover (every node <= 1 child; multiple roots get caught by the
+/// spanning-tree stage).
+std::vector<NodeId> greedy_path_parent(const Graph& g) {
+  std::vector<NodeId> parent(g.n(), -1);
+  std::vector<char> used(g.n(), 0);
+  for (NodeId s = 0; s < g.n(); ++s) {
+    if (used[s]) continue;
+    used[s] = 1;
+    NodeId cur = s;
+    while (true) {
+      NodeId next = -1;
+      for (const Half& h : g.neighbors(cur)) {
+        if (!used[h.to]) {
+          next = h.to;
+          break;
+        }
+      }
+      if (next == -1) break;
+      used[next] = 1;
+      parent[next] = cur;
+      cur = next;
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+int po_repetitions(int n, int c) {
+  return std::min(48, std::max(8, 2 * nesting_fragment_bits(n, c) / 1));
+}
+
+StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
+                                      const PoParams& params, Rng& rng) {
+  const Graph& g = *inst.graph;
+  const int n = g.n();
+  LRDIP_CHECK(n >= 2);
+
+  // --- Stage A: commit to a path.
+  std::vector<NodeId> parent;
+  bool have_ham_path = false;
+  std::vector<NodeId> order;
+  if (inst.prover_order && is_hamiltonian_path(g, *inst.prover_order)) {
+    order = *inst.prover_order;
+    have_ham_path = true;
+    parent.assign(n, -1);
+    for (int i = 1; i < n; ++i) parent[order[i]] = order[i - 1];
+  } else {
+    parent = greedy_path_parent(g);
+    // If the greedy cover came out as one Hamiltonian path, the prover must
+    // commit to it fully (and lose in stage B/C if the nesting fails) — a
+    // spanning path alone certifies nothing.
+    std::vector<std::vector<NodeId>> kids(n);
+    NodeId root = -1;
+    int roots = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (parent[v] == -1) {
+        root = v;
+        ++roots;
+      } else {
+        kids[parent[v]].push_back(v);
+      }
+    }
+    if (roots == 1) {
+      order.clear();
+      NodeId cur = root;
+      while (cur != -1) {
+        order.push_back(cur);
+        cur = kids[cur].size() == 1 ? kids[cur].front() : -1;
+      }
+      if (is_hamiltonian_path(g, order)) {
+        have_ham_path = true;
+      } else {
+        order.clear();
+      }
+    }
+  }
+
+  const ForestEncoding enc = encode_forest(g, parent);
+  StageResult commit;
+  commit.node_accepts.assign(n, 1);
+  commit.node_bits.assign(n, enc.bits_per_node());
+  commit.coin_bits.assign(n, 0);
+  commit.rounds = 1;
+  // Local checks on the encoding: unambiguous parent, at most one child, and
+  // the decoded structure is what the spanning-tree stage certifies.
+  std::vector<NodeId> decoded_parent(n, -1);
+  auto code_of = [&](NodeId u) { return enc.code[u]; };
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest_parent_ambiguous(g, v, code_of)) commit.node_accepts[v] = 0;
+    decoded_parent[v] = decode_forest_parent(g, v, code_of);
+    if (decode_forest_children(g, v, code_of).size() > 1) commit.node_accepts[v] = 0;
+  }
+  const int reps = po_repetitions(n, params.c);
+  StageResult st = verify_spanning_tree(g, decoded_parent, reps, rng);
+  StageResult result = compose_parallel(commit, st);
+
+  // --- Stages B and C need a committed Hamiltonian path to run on; without
+  // one the prover has already lost stage A (w.h.p.) and ships empty labels.
+  if (have_ham_path) {
+    LrSortingInstance lr;
+    lr.graph = &g;
+    lr.order = order;
+    lr.tail.resize(g.m());
+    std::vector<int> pos(n);
+    for (int i = 0; i < n; ++i) pos[order[i]] = i;
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      lr.tail[e] = pos[u] < pos[v] ? u : v;  // truthful orientation labels
+    }
+    result = compose_parallel(result, lr_sorting_stage(lr, {params.c}, rng));
+    result = compose_parallel(result, nesting_stage(g, order, params.c, rng));
+  }
+  result.rounds = std::max(result.rounds, kPathOuterplanarityRounds);
+  return result;
+}
+
+Outcome run_path_outerplanarity(const PathOuterplanarityInstance& inst, const PoParams& params,
+                                Rng& rng) {
+  return finalize(path_outerplanarity_stage(inst, params, rng));
+}
+
+Outcome run_path_outerplanarity_baseline_pls(const PathOuterplanarityInstance& inst) {
+  const Graph& g = *inst.graph;
+  const int n = g.n();
+  Outcome o;
+  o.rounds = 1;
+  o.max_coin_bits = 0;
+  // FFM+21: every node gets its position plus the positions of the endpoints
+  // of the first edge drawn above it: 3 * ceil(log n) bits.
+  const int bits = 3 * bits_for_values(static_cast<std::uint64_t>(std::max(2, n)));
+  o.proof_size_bits = bits;
+  o.total_label_bits = static_cast<std::int64_t>(bits) * n;
+  // Decision: the centralized oracle stands in for the (deterministic,
+  // position-based) local checks.
+  o.accepted = inst.prover_order.has_value() && is_properly_nested(g, *inst.prover_order);
+  return o;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,144 @@
+#include "protocols/spanning_tree_labeled.hpp"
+
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+bool st_labeled_node_decision(const NodeView& view, NodeId claimed_parent,
+                              const std::vector<NodeId>& claimed_children) {
+  using L = StLabeledLayout;
+  const Label& mine = view.own(L::kRoundResponse);
+  const std::uint64_t x = mine.get(L::kFieldX);
+  const std::uint64_t echo = mine.get(L::kFieldNonceEcho);
+
+  // X recurrence: X(v) = rho_v XOR (XOR over children's X).
+  std::uint64_t acc = view.own_coins(L::kRoundCoins)[0];
+  for (NodeId c : claimed_children) {
+    acc ^= view.of_neighbor(L::kRoundResponse, c).get(L::kFieldX);
+  }
+  if (x != acc) return false;
+
+  // Nonce echo: equal across every neighbor; roots additionally match their
+  // own draw.
+  for (const Half& h : view.neighbors()) {
+    if (view.of_neighbor(L::kRoundResponse, h.to).get(L::kFieldNonceEcho) != echo) return false;
+  }
+  if (claimed_parent == -1) {
+    const auto coins = view.own_coins(L::kRoundCoins);
+    LRDIP_CHECK(coins.size() == 2);  // rho + nonce
+    if (echo != coins[1]) return false;
+    if (!view.own(L::kRoundStructure).get_flag(L::kFieldRootFlag)) return false;
+  } else {
+    if (view.own(L::kRoundStructure).get_flag(L::kFieldRootFlag)) return false;
+  }
+  return true;
+}
+
+Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& claimed_parent,
+                                     int repetitions, Rng& rng) {
+  using L = StLabeledLayout;
+  const int n = g.n();
+  const int k = repetitions;
+  LRDIP_CHECK(k >= 1 && k <= 64);
+  const std::uint64_t mask = (k == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
+
+  LabelStore labels(g, /*rounds=*/3);
+  CoinStore coins(g, /*rounds=*/3);
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (claimed_parent[v] != -1) {
+      LRDIP_CHECK(g.has_edge(v, claimed_parent[v]));
+      children[claimed_parent[v]].push_back(v);
+    }
+  }
+
+  // --- Round 0 (prover): the structural commitment (root flags).
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.put_flag(claimed_parent[v] == -1);
+    labels.assign_node(L::kRoundStructure, v, std::move(l));
+  }
+
+  // --- Round 1 (verifier): public coins.
+  std::vector<std::uint64_t> rho(n), nonce(n, 0);
+  NodeId first_root = -1;
+  for (NodeId v = 0; v < n; ++v) {
+    const bool is_root = claimed_parent[v] == -1;
+    const auto drawn = coins.draw(L::kRoundCoins, v, is_root ? 2 : 1,
+                                  mask + (mask == ~std::uint64_t{0} ? 0 : 1), k, rng);
+    rho[v] = drawn[0];
+    if (is_root) {
+      nonce[v] = drawn[1];
+      if (first_root == -1) first_root = v;
+    }
+  }
+
+  // --- Round 2 (prover, best effort): solve the X system bottom-up; pick one
+  // nonce to echo globally.
+  std::vector<std::uint64_t> x(n, 0);
+  {
+    std::vector<int> pending(n, 0);
+    std::deque<NodeId> ready;
+    for (NodeId v = 0; v < n; ++v) {
+      pending[v] = static_cast<int>(children[v].size());
+      if (pending[v] == 0) ready.push_back(v);
+    }
+    std::vector<char> resolved(n, 0);
+    while (!ready.empty()) {
+      const NodeId v = ready.front();
+      ready.pop_front();
+      std::uint64_t acc = rho[v];
+      for (NodeId c : children[v]) acc ^= x[c];
+      x[v] = acc;
+      resolved[v] = 1;
+      const NodeId p = claimed_parent[v];
+      if (p != -1 && --pending[p] == 0) ready.push_back(p);
+    }
+    // Cycle nodes: satisfy all but one equation per cycle.
+    std::vector<char> done(n, 0);
+    for (NodeId s = 0; s < n; ++s) {
+      if (resolved[s] || done[s]) continue;
+      std::vector<NodeId> cycle;
+      NodeId v = s;
+      while (!done[v]) {
+        done[v] = 1;
+        cycle.push_back(v);
+        v = claimed_parent[v];
+      }
+      x[cycle[0]] = 0;
+      for (std::size_t i = 1; i < cycle.size(); ++i) {
+        const NodeId u = cycle[i];
+        std::uint64_t acc = rho[u];
+        for (NodeId c : children[u]) {
+          if (c != cycle[i - 1]) acc ^= x[c];
+        }
+        x[u] = acc ^ x[cycle[i - 1]];
+      }
+    }
+  }
+  const std::uint64_t echoed = first_root == -1 ? 0 : nonce[first_root];
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.put(x[v], k).put(echoed, k);
+    labels.assign_node(L::kRoundResponse, v, std::move(l));
+  }
+
+  // --- Decision through NodeViews only.
+  bool all = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeView view(labels, coins, v);
+    if (!st_labeled_node_decision(view, claimed_parent[v], children[v])) all = false;
+  }
+
+  Outcome o;
+  o.accepted = all;
+  o.rounds = 3;
+  o.proof_size_bits = labels.proof_size_bits();
+  o.total_label_bits = labels.total_label_bits();
+  o.max_coin_bits = coins.max_coin_bits();
+  return o;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,43 @@
+// Reference implementation of the Lemma 2.5 spanning-tree verification,
+// written strictly against the dip:: execution substrate: prover labels live
+// in a LabelStore, verifier coins in a CoinStore, and each node's decision
+// function receives ONLY its NodeView (own coins, own labels, neighbor
+// labels) plus its local input (claimed parent / children) — the locality
+// constraints of the KOS18 model are enforced by the types, not by
+// discipline.
+//
+// The big protocols use array-mirrored implementations of the same logic for
+// speed at millions of nodes; this module is the executable specification the
+// tests cross-check them against.
+#pragma once
+
+#include <vector>
+
+#include "dip/store.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+/// Label/field layout of the protocol (exposed for tests).
+struct StLabeledLayout {
+  static constexpr int kRoundStructure = 0;  // prover: root flag
+  static constexpr int kRoundCoins = 1;      // verifier: rho (+ nonce at roots)
+  static constexpr int kRoundResponse = 2;   // prover: X value + nonce echo
+  static constexpr std::size_t kFieldRootFlag = 0;
+  static constexpr std::size_t kFieldX = 0;
+  static constexpr std::size_t kFieldNonceEcho = 1;
+};
+
+/// Runs the protocol over the stores and returns the outcome. `children` must
+/// be the claimed-parent-derived lists (each node's local knowledge from the
+/// Lemma 2.3 decode).
+Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& claimed_parent,
+                                     int repetitions, Rng& rng);
+
+/// The per-node decision function, usable directly against externally built
+/// stores (exercised by the framework tests).
+bool st_labeled_node_decision(const NodeView& view, NodeId claimed_parent,
+                              const std::vector<NodeId>& claimed_children);
+
+}  // namespace lrdip

@@ -1,0 +1,55 @@
+#include "protocols/stage.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+StageResult empty_stage(int n) {
+  StageResult s;
+  s.node_accepts.assign(n, 1);
+  s.node_bits.assign(n, 0);
+  s.coin_bits.assign(n, 0);
+  s.rounds = 0;
+  return s;
+}
+
+StageResult compose_parallel(const StageResult& a, const StageResult& b) {
+  LRDIP_CHECK(a.node_accepts.size() == b.node_accepts.size());
+  StageResult out;
+  const std::size_t n = a.node_accepts.size();
+  out.node_accepts.resize(n);
+  out.node_bits.resize(n);
+  out.coin_bits.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.node_accepts[v] = a.node_accepts[v] && b.node_accepts[v];
+    out.node_bits[v] = a.node_bits[v] + b.node_bits[v];
+    out.coin_bits[v] = a.coin_bits[v] + b.coin_bits[v];
+  }
+  out.rounds = std::max(a.rounds, b.rounds);
+  return out;
+}
+
+Outcome finalize(const StageResult& s) {
+  Outcome o;
+  o.accepted = s.all_accept();
+  o.rounds = s.rounds;
+  o.proof_size_bits = s.node_bits.empty() ? 0 : *std::max_element(s.node_bits.begin(), s.node_bits.end());
+  o.total_label_bits = 0;
+  for (int b : s.node_bits) o.total_label_bits += b;
+  o.max_coin_bits = s.coin_bits.empty() ? 0 : *std::max_element(s.coin_bits.begin(), s.coin_bits.end());
+  return o;
+}
+
+StageResult stage_from_stores(const LabelStore& labels, const CoinStore& coins,
+                              std::vector<char> accepts, int rounds) {
+  StageResult s;
+  s.node_accepts = std::move(accepts);
+  s.node_bits = labels.charged_bits();
+  s.coin_bits = coins.coin_bits();
+  s.rounds = rounds;
+  return s;
+}
+
+}  // namespace lrdip

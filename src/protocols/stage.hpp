@@ -1,0 +1,47 @@
+// Composition of protocol stages.
+//
+// The paper's protocols run several stages "in parallel": in every interaction
+// round each stage contributes fields to the same physical label. We model a
+// stage as an independent execution that reports, per node, whether that
+// node's checks passed and how many label bits the prover charged to it; the
+// composite protocol sums bits per node (concatenated labels), ANDs accepts,
+// and takes the max round count.
+#pragma once
+
+#include <vector>
+
+#include "dip/store.hpp"
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+struct StageResult {
+  std::vector<char> node_accepts;  // per node of the host graph
+  std::vector<int> node_bits;      // label bits charged per node
+  std::vector<int> coin_bits;      // public-coin bits drawn per node
+  int rounds = 0;
+
+  bool all_accept() const {
+    for (char a : node_accepts) {
+      if (!a) return false;
+    }
+    return true;
+  }
+};
+
+/// An all-accept stage with zero cost (identity for composition).
+StageResult empty_stage(int n);
+
+/// Parallel composition: labels concatenate (bits add), a node accepts iff it
+/// accepts in every stage, rounds take the max.
+StageResult compose_parallel(const StageResult& a, const StageResult& b);
+
+/// Collapses a composed stage into the user-facing Outcome.
+Outcome finalize(const StageResult& s);
+
+/// Extracts a StageResult from a LabelStore/CoinStore pair plus per-node
+/// accept flags (for stages implemented directly on the stores).
+StageResult stage_from_stores(const LabelStore& labels, const CoinStore& coins,
+                              std::vector<char> accepts, int rounds);
+
+}  // namespace lrdip

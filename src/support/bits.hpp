@@ -1,0 +1,32 @@
+// Small bit-arithmetic helpers used everywhere for label-size accounting.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+/// Number of bits needed to write any value in [0, n-1]; ceil(log2 n), with
+/// bit_width(1) == 1 so a field that can only hold one value still costs a bit
+/// of framing in our accounting (conservative).
+inline int bits_for_values(std::uint64_t n) {
+  LRDIP_CHECK(n >= 1);
+  if (n == 1) return 1;
+  return std::bit_width(n - 1);
+}
+
+/// ceil(log2 n) for n >= 1.
+inline int ceil_log2(std::uint64_t n) {
+  LRDIP_CHECK(n >= 1);
+  return n == 1 ? 0 : std::bit_width(n - 1);
+}
+
+/// floor(log2 n) for n >= 1.
+inline int floor_log2(std::uint64_t n) {
+  LRDIP_CHECK(n >= 1);
+  return std::bit_width(n) - 1;
+}
+
+}  // namespace lrdip

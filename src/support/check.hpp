@@ -1,0 +1,35 @@
+// Lightweight invariant checking for library internals.
+//
+// LRDIP_CHECK is used for conditions that indicate a programming error or a
+// malformed input that the caller promised not to pass; it throws
+// lrdip::InvariantError so tests can assert on misuse without aborting the
+// process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lrdip {
+
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": check failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace lrdip
+
+#define LRDIP_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::lrdip::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LRDIP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::lrdip::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

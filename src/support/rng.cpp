@@ -1,0 +1,65 @@
+#include "support/rng.hpp"
+
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  LRDIP_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+std::uint64_t Rng::uniform_in(std::uint64_t lo, std::uint64_t hi) {
+  LRDIP_CHECK(lo <= hi);
+  return lo + uniform(hi - lo + 1);
+}
+
+std::vector<std::uint64_t> Rng::bits(int nbits) {
+  LRDIP_CHECK(nbits >= 0);
+  std::vector<std::uint64_t> out((nbits + 63) / 64, 0);
+  for (auto& w : out) w = next_u64();
+  if (nbits % 64 != 0 && !out.empty()) {
+    out.back() &= (std::uint64_t{1} << (nbits % 64)) - 1;
+  }
+  return out;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace lrdip

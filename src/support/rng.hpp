@@ -1,0 +1,42 @@
+// Seedable, reproducible random number generation.
+//
+// All randomized components of the library (verifier coins, generators,
+// cheating provers) take an Rng& so that every experiment is reproducible from
+// a single seed. The implementation is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lrdip {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// A uniform bitstring of `nbits` bits, packed little-endian into 64-bit words.
+  std::vector<std::uint64_t> bits(int nbits);
+
+  /// Single fair coin.
+  bool coin() { return (next_u64() & 1) != 0; }
+
+  /// Returns true with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return uniform(den) < num; }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lrdip

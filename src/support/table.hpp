@@ -1,0 +1,28 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// paper-style result rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrdip {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Convenience numeric formatting.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lrdip

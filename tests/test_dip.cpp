@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "dip/label.hpp"
+#include "dip/store.hpp"
+#include "gen/generators.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(Label, FieldsAndBits) {
+  Label l;
+  l.put(5, 3).put_flag(true).put(1023, 10);
+  EXPECT_EQ(l.num_fields(), 3u);
+  EXPECT_EQ(l.get(0), 5u);
+  EXPECT_TRUE(l.get_flag(1));
+  EXPECT_EQ(l.get(2), 1023u);
+  EXPECT_EQ(l.bit_size(), 14);
+}
+
+TEST(Label, RejectsOverflow) {
+  Label l;
+  EXPECT_THROW(l.put(8, 3), InvariantError);
+  EXPECT_THROW(l.put(1, 0), InvariantError);
+}
+
+TEST(Label, OutOfRangeField) {
+  Label l;
+  l.put(1, 1);
+  EXPECT_THROW(l.get(1), InvariantError);
+}
+
+TEST(LabelStore, ChargesNodes) {
+  const Graph g = path_graph(3);
+  LabelStore store(g, 2);
+  Label a;
+  a.put(3, 2);
+  store.assign_node(0, 1, a);
+  Label b;
+  b.put(1, 5);
+  store.assign_edge(1, 0, b, 0);  // edge 0 = (0,1), charged to node 0
+  EXPECT_EQ(store.node_label(0, 1).get(0), 3u);
+  EXPECT_EQ(store.edge_label(1, 0).bit_size(), 5);
+  EXPECT_EQ(store.charged_bits()[0], 5);
+  EXPECT_EQ(store.charged_bits()[1], 2);
+  EXPECT_EQ(store.charged_bits()[2], 0);
+  EXPECT_EQ(store.proof_size_bits(), 5);
+  EXPECT_EQ(store.total_label_bits(), 7);
+}
+
+TEST(LabelStore, RejectsDoubleAssignment) {
+  const Graph g = path_graph(2);
+  LabelStore store(g, 1);
+  Label a;
+  a.put(1, 1);
+  store.assign_node(0, 0, a);
+  EXPECT_THROW(store.assign_node(0, 0, a), InvariantError);
+}
+
+TEST(LabelStore, RejectsForeignAccountableEndpoint) {
+  const Graph g = path_graph(3);
+  LabelStore store(g, 1);
+  Label a;
+  a.put(1, 1);
+  EXPECT_THROW(store.assign_edge(0, 0, a, 2), InvariantError);
+}
+
+TEST(NodeView, EnforcesLocality) {
+  const Graph g = path_graph(4);  // 0-1-2-3
+  LabelStore store(g, 1);
+  CoinStore coins(g, 1);
+  Label a;
+  a.put(7, 3);
+  store.assign_node(0, 2, a);
+  NodeView view(store, coins, 0);
+  EXPECT_NO_THROW(view.of_neighbor(0, 1));
+  EXPECT_THROW(view.of_neighbor(0, 2), InvariantError);  // not adjacent
+  EXPECT_NO_THROW(view.of_edge(0, 0));                   // edge (0,1)
+  EXPECT_THROW(view.of_edge(0, 2), InvariantError);      // edge (2,3)
+}
+
+TEST(CoinStore, RecordsDraws) {
+  const Graph g = path_graph(2);
+  CoinStore coins(g, 2);
+  Rng rng(1);
+  const auto drawn = coins.draw(0, 1, 3, 100, 7, rng);
+  EXPECT_EQ(drawn.size(), 3u);
+  for (auto c : drawn) EXPECT_LT(c, 100u);
+  EXPECT_EQ(coins.coins(0, 1).size(), 3u);
+  EXPECT_EQ(coins.coin_bits()[1], 21);
+  EXPECT_EQ(coins.max_coin_bits(), 21);
+}
+
+}  // namespace
+}  // namespace lrdip

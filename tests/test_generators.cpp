@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/outerplanar.hpp"
+#include "graph/planarity.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(Generators, PathCycleStarComplete) {
+  EXPECT_EQ(path_graph(5).m(), 4);
+  EXPECT_EQ(cycle_graph(5).m(), 5);
+  EXPECT_EQ(star_graph(7).m(), 7);
+  EXPECT_EQ(complete_graph(5).m(), 10);
+  EXPECT_EQ(complete_bipartite(3, 4).m(), 12);
+}
+
+TEST(Generators, PathOuterplanarScalesWithArcFactor) {
+  Rng rng(1);
+  const auto sparse = random_path_outerplanar(500, 0.1, rng);
+  const auto dense = random_path_outerplanar(500, 2.0, rng);
+  EXPECT_LT(sparse.graph.m(), dense.graph.m());
+  EXPECT_TRUE(is_properly_nested(dense.graph, dense.order));
+  EXPECT_TRUE(dense.graph.is_simple());
+}
+
+TEST(Generators, PathOuterplanarShufflesIds) {
+  Rng rng(2);
+  const auto inst = random_path_outerplanar(100, 0.5, rng);
+  // The path should not be the identity order (w.h.p.).
+  bool identity = true;
+  for (int i = 0; i < 100; ++i) identity = identity && (inst.order[i] == i);
+  EXPECT_FALSE(identity);
+}
+
+TEST(Generators, MaximalOuterplanarEdgeCount) {
+  Rng rng(3);
+  for (int n : {5, 20, 100}) {
+    const Graph g = random_maximal_outerplanar(n, rng);
+    EXPECT_EQ(g.m(), 2 * n - 3);  // polygon + (n - 3) chords
+    EXPECT_TRUE(g.is_simple());
+  }
+}
+
+TEST(Generators, BiconnectedOuterplanarKeepsCycle) {
+  Rng rng(4);
+  const Graph g = random_biconnected_outerplanar(50, 0.8, rng);
+  EXPECT_TRUE(is_outerplanar(g));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(g.has_edge(i, (i + 1) % 50));
+}
+
+TEST(Generators, ApollonianIsMaximalPlanar) {
+  Rng rng(5);
+  const auto inst = random_apollonian(64, rng);
+  EXPECT_EQ(inst.graph.m(), 3 * 64 - 6);
+  EXPECT_TRUE(is_planar_embedding(inst.graph, inst.rotation));
+}
+
+TEST(Generators, GridDimensions) {
+  const auto inst = grid_graph(4, 6);
+  EXPECT_EQ(inst.graph.n(), 24);
+  EXPECT_EQ(inst.graph.m(), 4 * 5 + 6 * 3);
+  EXPECT_TRUE(is_planar_embedding(inst.graph, inst.rotation));
+}
+
+TEST(Generators, RandomPlanarStaysConnected) {
+  Rng rng(6);
+  for (int t = 0; t < 5; ++t) {
+    const auto inst = random_planar(100, 0.6, rng);
+    EXPECT_TRUE(is_connected(inst.graph));
+    EXPECT_TRUE(is_planar_embedding(inst.graph, inst.rotation));
+    EXPECT_LT(inst.graph.m(), 3 * 100 - 6);
+  }
+}
+
+TEST(Generators, PlantSubdivisionCounts) {
+  Rng rng(7);
+  const Graph host = path_graph(10);
+  const Graph g = plant_subdivision(host, complete_graph(5), 3, rng);
+  // 10 host + 5 branch + 10 edges * 3 subdivision nodes.
+  EXPECT_EQ(g.n(), 10 + 5 + 30);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_planar(g));
+}
+
+TEST(Generators, LrYesInstancesAreForward) {
+  Rng rng(8);
+  const LrInstance inst = random_lr_yes(200, 1.0, rng);
+  EXPECT_TRUE(inst.yes);
+  for (char f : inst.forward) EXPECT_TRUE(f);
+  EXPECT_TRUE(is_hamiltonian_path(inst.graph, inst.order));
+}
+
+TEST(Generators, LrNoInstancesFlipNonPathEdges) {
+  Rng rng(9);
+  const LrInstance inst = random_lr_no(200, 1.0, 3, rng);
+  EXPECT_FALSE(inst.yes);
+  std::vector<int> pos(inst.graph.n());
+  for (int i = 0; i < inst.graph.n(); ++i) pos[inst.order[i]] = i;
+  int flipped = 0;
+  for (EdgeId e = 0; e < inst.graph.m(); ++e) {
+    if (!inst.forward[e]) {
+      ++flipped;
+      const auto [u, v] = inst.graph.endpoints(e);
+      EXPECT_GE(std::abs(pos[u] - pos[v]), 2);  // only non-path edges flip
+    }
+  }
+  EXPECT_GE(flipped, 1);
+  EXPECT_LE(flipped, 3);
+}
+
+TEST(Generators, SpiderHasNoHamPath) {
+  const Graph g = spider_no_instance(4);
+  EXPECT_EQ(g.n(), 13);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_outerplanar(g));  // outerplanar but no Hamiltonian path
+}
+
+TEST(Generators, TreewidthTwoGlueIsConnected) {
+  Rng rng(10);
+  const Graph g = random_treewidth2(100, 5, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(77), b(77);
+  const auto i1 = random_path_outerplanar(300, 1.0, a);
+  const auto i2 = random_path_outerplanar(300, 1.0, b);
+  EXPECT_EQ(i1.graph.m(), i2.graph.m());
+  EXPECT_EQ(i1.order, i2.order);
+}
+
+}  // namespace
+}  // namespace lrdip

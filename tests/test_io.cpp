@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(GraphIo, RoundTripPlainGraph) {
+  Rng rng(1);
+  GraphFile gf;
+  gf.graph = random_maximal_outerplanar(20, rng);
+  std::stringstream ss;
+  write_graph(ss, gf);
+  const GraphFile back = read_graph(ss);
+  EXPECT_EQ(back.graph.n(), gf.graph.n());
+  EXPECT_EQ(back.graph.m(), gf.graph.m());
+  for (EdgeId e = 0; e < gf.graph.m(); ++e) {
+    EXPECT_EQ(back.graph.endpoints(e), gf.graph.endpoints(e));
+  }
+  EXPECT_FALSE(back.order.has_value());
+  EXPECT_FALSE(back.rotation.has_value());
+}
+
+TEST(GraphIo, RoundTripWithSections) {
+  Rng rng(2);
+  const auto planar = random_planar(30, 0.4, rng);
+  GraphFile gf;
+  gf.graph = planar.graph;
+  gf.rotation = planar.rotation;
+  std::vector<NodeId> tails(gf.graph.m());
+  for (EdgeId e = 0; e < gf.graph.m(); ++e) tails[e] = gf.graph.endpoints(e).first;
+  gf.tails = tails;
+  std::vector<NodeId> order(gf.graph.n());
+  for (int i = 0; i < gf.graph.n(); ++i) order[i] = i;
+  gf.order = order;
+
+  std::stringstream ss;
+  write_graph(ss, gf);
+  const GraphFile back = read_graph(ss);
+  ASSERT_TRUE(back.order && back.rotation && back.tails);
+  EXPECT_EQ(*back.order, order);
+  EXPECT_EQ(*back.tails, tails);
+  for (NodeId v = 0; v < gf.graph.n(); ++v) {
+    EXPECT_EQ(back.rotation->order_at(v), planar.rotation.order_at(v));
+  }
+}
+
+TEST(GraphIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss("# header comment\n\ngraph 3 2\ne 0 1 # inline\n\ne 1 2\n");
+  const GraphFile gf = read_graph(ss);
+  EXPECT_EQ(gf.graph.n(), 3);
+  EXPECT_EQ(gf.graph.m(), 2);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  auto expect_bad = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_graph(ss), InvariantError) << text;
+  };
+  expect_bad("");                                // no header
+  expect_bad("e 0 1\n");                         // edge before header
+  expect_bad("graph 2 1\n");                     // missing edges
+  expect_bad("graph 2 1\ne 0 5\n");              // endpoint out of range
+  expect_bad("graph 2 1\ne 0 0\n");              // self loop
+  expect_bad("graph 2 1\ne 0 1\nnope 3\n");      // unknown keyword
+  expect_bad("graph 2 1\ne 0 1\norder 0\n");     // short order
+  expect_bad("graph 2 1\ne 0 1\ntails 0 1 0\n"); // long tails
+  expect_bad("graph 2 2\ne 0 1\ne 0 1\ngraph 1 0\n");  // duplicate header
+}
+
+TEST(GraphIo, RejectsBadRotation) {
+  // Rotation listing a non-incident edge must fail validation.
+  std::stringstream ss("graph 3 2\ne 0 1\ne 1 2\nrotation\nr 0 1\nr 1 0 1\nr 2 1\n");
+  EXPECT_THROW(read_graph(ss), InvariantError);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(3);
+  GraphFile gf;
+  gf.graph = cycle_graph(9);
+  const std::string path = "/tmp/lrdip_io_test.graph";
+  write_graph_file(path, gf);
+  const GraphFile back = read_graph_file(path);
+  EXPECT_EQ(back.graph.n(), 9);
+  EXPECT_EQ(back.graph.m(), 9);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_graph_file("/tmp/definitely/not/here.graph"), InvariantError);
+}
+
+}  // namespace
+}  // namespace lrdip

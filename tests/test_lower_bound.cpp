@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "graph/outerplanar.hpp"
+#include "graph/planarity.hpp"
+#include "protocols/lower_bound.hpp"
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(LowerBound, FamilyMembersAreOuterplanar) {
+  const LowerBoundFamily fam = lower_bound_family(32);
+  for (int i = 0; i < static_cast<int>(fam.chord_offsets.size()); i += 3) {
+    EXPECT_TRUE(is_outerplanar(lower_bound_yes_instance(fam, i))) << i;
+  }
+}
+
+TEST(LowerBound, SplicesAreNonOuterplanar) {
+  const LowerBoundFamily fam = lower_bound_family(32);
+  // Rotated half-chords always cross: the splice carries a K4 subdivision.
+  EXPECT_FALSE(is_outerplanar(lower_bound_spliced_no_instance(fam, 0, 5)));
+  EXPECT_FALSE(is_outerplanar(lower_bound_spliced_no_instance(fam, 2, 9)));
+  // ... but each splice stays planar: the separation is outerplanarity-level.
+  EXPECT_TRUE(is_planar(lower_bound_spliced_no_instance(fam, 0, 5)));
+}
+
+TEST(LowerBound, CollisionsVanishAtLogN) {
+  const int n = 1 << 10;
+  const LowerBoundFamily fam = lower_bound_family(n);
+  // Family size ~ n/2; b >= log2(n/2) => injective residues => no collisions.
+  EXPECT_EQ(count_label_collisions(fam, 9), 0);
+  // One bit below the threshold: pigeonhole forces collisions.
+  EXPECT_GT(count_label_collisions(fam, 8), 0);
+  EXPECT_GT(count_label_collisions(fam, 4), count_label_collisions(fam, 8));
+}
+
+TEST(LowerBound, CollisionCountMatchesPigeonhole) {
+  const LowerBoundFamily fam = lower_bound_family(64);  // offsets 0..30
+  // b = 3: residues mod 8 over 31 offsets: 7 residues x4 + 1 x3.
+  EXPECT_EQ(count_label_collisions(fam, 3), 7 * 4 * 3 + 1 * 3 * 2);
+}
+
+TEST(LowerBound, TruncatedSchemeNeverAcceptsWithFullPrecision) {
+  Rng rng(1);
+  const LowerBoundFamily fam = lower_bound_family(256);
+  EXPECT_EQ(truncated_pls_acceptance(fam, 9, 40, rng), 0.0);
+}
+
+TEST(LowerBound, AcceptanceIsMonotoneInWidth) {
+  Rng rng(2);
+  const LowerBoundFamily fam = lower_bound_family(256);
+  const double wide = truncated_pls_acceptance(fam, 8, 60, rng);
+  const double narrow = truncated_pls_acceptance(fam, 2, 60, rng);
+  EXPECT_LE(wide, narrow + 1e-9);
+}
+
+}  // namespace
+}  // namespace lrdip

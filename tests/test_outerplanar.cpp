@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/outerplanar.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(Outerplanar, BasicFamilies) {
+  Rng rng(1);
+  EXPECT_TRUE(is_outerplanar(path_graph(10)));
+  EXPECT_TRUE(is_outerplanar(cycle_graph(10)));
+  EXPECT_TRUE(is_outerplanar(random_maximal_outerplanar(40, rng)));
+  EXPECT_FALSE(is_outerplanar(complete_graph(4)));
+  EXPECT_FALSE(is_outerplanar(complete_bipartite(2, 3)));
+}
+
+TEST(Outerplanar, WheelIsPlanarNotOuterplanar) {
+  Graph wheel = cycle_graph(6);
+  const NodeId hub = wheel.add_node();
+  for (NodeId v = 0; v < 6; ++v) wheel.add_edge(hub, v);
+  EXPECT_FALSE(is_outerplanar(wheel));
+}
+
+TEST(Outerplanar, CrossingChordsAreNotOuterplanar) {
+  Rng rng(2);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_FALSE(is_outerplanar(crossing_chords_no_instance(12, rng)));
+  }
+}
+
+TEST(Outerplanar, GeneratedGeneralOuterplanar) {
+  Rng rng(3);
+  for (int t = 0; t < 5; ++t) {
+    const Graph g = random_outerplanar(40, 4, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_outerplanar(g));
+  }
+}
+
+TEST(Outerplanar, HamiltonianCycleOfMaximalOuterplanar) {
+  Rng rng(4);
+  const Graph g = random_maximal_outerplanar(25, rng);
+  const auto cyc = outerplanar_hamiltonian_cycle(g);
+  ASSERT_TRUE(cyc.has_value());
+  ASSERT_EQ(cyc->size(), 25u);
+  // Consecutive nodes adjacent, all nodes distinct.
+  std::vector<char> seen(25, 0);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_FALSE(seen[(*cyc)[i]]);
+    seen[(*cyc)[i]] = 1;
+    EXPECT_TRUE(g.has_edge((*cyc)[i], (*cyc)[(i + 1) % 25]));
+  }
+  // The polygon cycle of the generator is 0..n-1; the recovered cycle must be
+  // the same cycle up to rotation/reflection.
+  auto c = *cyc;
+  const auto zero = std::find(c.begin(), c.end(), 0);
+  std::rotate(c.begin(), zero, c.end());
+  if (c[1] != 1) {
+    std::reverse(c.begin() + 1, c.end());
+  }
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(c[i], i);
+}
+
+TEST(Outerplanar, HamiltonianCycleRejectsNonBiconnected) {
+  EXPECT_FALSE(outerplanar_hamiltonian_cycle(path_graph(5)).has_value());
+}
+
+TEST(Outerplanar, HamiltonianCycleRejectsNonOuterplanar) {
+  EXPECT_FALSE(outerplanar_hamiltonian_cycle(complete_graph(4)).has_value());
+}
+
+TEST(PathOuterplanar, ProperNestingAcceptsGenerated) {
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const auto inst = random_path_outerplanar(50, 1.0, rng);
+    EXPECT_TRUE(is_properly_nested(inst.graph, inst.order));
+  }
+}
+
+TEST(PathOuterplanar, ProperNestingRejectsCrossing) {
+  // Path 0-1-2-3-4 with arcs (0,2) and (1,3) crossing.
+  Graph g = path_graph(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  EXPECT_FALSE(is_properly_nested(g, {0, 1, 2, 3, 4}));
+  // Arcs (0,3) and (1,2) nest fine.
+  Graph h = path_graph(5);
+  h.add_edge(0, 3);
+  h.add_edge(1, 2);
+  EXPECT_TRUE(is_properly_nested(h, {0, 1, 2, 3, 4}));
+}
+
+TEST(PathOuterplanar, SharedEndpointsNest) {
+  Graph g = path_graph(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  EXPECT_TRUE(is_properly_nested(g, {0, 1, 2, 3, 4}));
+}
+
+TEST(PathOuterplanar, BruteForceAgreesOnSmallGraphs) {
+  Rng rng(6);
+  // Yes-instances keep some ordering.
+  for (int t = 0; t < 5; ++t) {
+    const auto inst = random_path_outerplanar(7, 1.0, rng);
+    EXPECT_TRUE(brute_force_path_outerplanar_order(inst.graph).has_value());
+  }
+  // K4 has a Hamiltonian path but cannot nest: 4 nodes, edges include both
+  // crossing chords in every ordering.
+  EXPECT_FALSE(brute_force_path_outerplanar_order(complete_graph(4)).has_value());
+  // The spider has no Hamiltonian path at all.
+  EXPECT_FALSE(brute_force_path_outerplanar_order(spider_no_instance(3)).has_value());
+}
+
+TEST(Nesting, Figure1Anatomy) {
+  // The paper's Figure 1 caption facts on path a..f (0..5) with arcs
+  // (b,f), (c,e), (c,f).
+  Graph g = path_graph(6);
+  const EdgeId bf = g.add_edge(1, 5);
+  const EdgeId ce = g.add_edge(2, 4);
+  const EdgeId cf = g.add_edge(2, 5);
+  const std::vector<NodeId> order{0, 1, 2, 3, 4, 5};
+  ASSERT_TRUE(is_properly_nested(g, order));
+  const NestingStructure ns = compute_nesting(g, order);
+  // "The longest c-right edge is (c,f); the longest f-left edge is (b,f);
+  //  the successor of (c,e) is (c,f)."
+  EXPECT_TRUE(ns.longest_right[cf]);
+  EXPECT_FALSE(ns.longest_right[ce]);
+  EXPECT_TRUE(ns.longest_left[bf]);
+  EXPECT_FALSE(ns.longest_left[cf]);
+  EXPECT_EQ(ns.successor[ce], cf);
+  EXPECT_EQ(ns.successor[cf], bf);
+  EXPECT_EQ(ns.successor[bf], -1);  // virtual edge
+  EXPECT_TRUE(ns.longest_right[bf]);  // b's only right edge
+  // above: the first edge drawn entirely above each node.
+  EXPECT_EQ(ns.above[0], -1);  // a: leftmost, uncovered
+  EXPECT_EQ(ns.above[1], -1);  // b is an endpoint of (b,f); nothing above
+  EXPECT_EQ(ns.above[2], bf);  // c sits under (b,f)
+  EXPECT_EQ(ns.above[3], ce);  // d sits under (c,e)
+  EXPECT_EQ(ns.above[4], cf);  // e is an endpoint of (c,e), directly under (c,f)
+  EXPECT_EQ(ns.above[5], -1);  // f: rightmost
+}
+
+TEST(Nesting, LongestEdgesExistForEveryIncidentNode) {
+  Rng rng(7);
+  const auto inst = random_path_outerplanar(60, 1.2, rng);
+  const NestingStructure ns = compute_nesting(inst.graph, inst.order);
+  const Graph& g = inst.graph;
+  std::vector<int> pos(g.n());
+  for (int i = 0; i < g.n(); ++i) pos[inst.order[i]] = i;
+  // Observation 2.1: every non-path edge is longest u-right or longest v-left.
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (ns.is_path_edge[e]) continue;
+    EXPECT_TRUE(ns.longest_right[e] || ns.longest_left[e]) << "edge " << e;
+  }
+}
+
+TEST(Nesting, SuccessorChainsTerminate) {
+  Rng rng(8);
+  const auto inst = random_path_outerplanar(80, 1.0, rng);
+  const NestingStructure ns = compute_nesting(inst.graph, inst.order);
+  for (EdgeId e = 0; e < inst.graph.m(); ++e) {
+    if (ns.is_path_edge[e]) continue;
+    int hops = 0;
+    EdgeId cur = e;
+    while (cur != -1) {
+      cur = ns.successor[cur];
+      ASSERT_LE(++hops, inst.graph.m());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrdip

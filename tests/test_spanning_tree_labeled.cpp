@@ -1,0 +1,92 @@
+// Cross-checks the NodeView-based reference implementation of Lemma 2.5
+// against the array implementation used inside the big protocols.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "protocols/spanning_tree_labeled.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+TEST(StLabeled, AcceptsHonestTrees) {
+  Rng rng(1);
+  for (int t = 0; t < 10; ++t) {
+    const auto inst = random_planar(100, 0.3, rng);
+    const RootedForest tree = bfs_tree(inst.graph, 0);
+    const Outcome o = verify_spanning_tree_labeled(inst.graph, tree.parent, 16, rng);
+    EXPECT_TRUE(o.accepted);
+    EXPECT_EQ(o.rounds, 3);
+    // 1 root-flag bit + X + nonce echo.
+    EXPECT_EQ(o.proof_size_bits, 1 + 2 * 16);
+  }
+}
+
+TEST(StLabeled, RejectsCyclesLikeArrayVersion) {
+  Rng rng(2);
+  const int trials = 300;
+  int labeled_rejects = 0, array_rejects = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Graph g = cycle_graph(10);
+    std::vector<NodeId> parent(10);
+    for (int v = 0; v < 10; ++v) parent[v] = (v + 1) % 10;
+    labeled_rejects += !verify_spanning_tree_labeled(g, parent, 1, rng).accepted;
+    array_rejects += !verify_spanning_tree(g, parent, 1, rng).all_accept();
+  }
+  // Both implement the same best-effort prover; per-trial escape odds 1/2.
+  EXPECT_NEAR(labeled_rejects / double(trials), 0.5, 0.12);
+  EXPECT_NEAR(array_rejects / double(trials), 0.5, 0.12);
+  EXPECT_NEAR(labeled_rejects, array_rejects, trials * 0.15);
+}
+
+TEST(StLabeled, RejectsSecondComponent) {
+  Rng rng(3);
+  for (int t = 0; t < 30; ++t) {
+    const auto inst = random_planar(60, 0.3, rng);
+    RootedForest tree = bfs_tree(inst.graph, 0);
+    for (NodeId v = 0; v < inst.graph.n(); ++v) {
+      if (tree.depth[v] == 1) {
+        tree.parent[v] = -1;  // a second root
+        break;
+      }
+    }
+    EXPECT_FALSE(verify_spanning_tree_labeled(inst.graph, tree.parent, 16, rng).accepted);
+  }
+}
+
+TEST(StLabeled, CoinAccountingPerRole) {
+  Rng rng(4);
+  const Graph g = path_graph(5);
+  std::vector<NodeId> parent{-1, 0, 1, 2, 3};
+  const Outcome o = verify_spanning_tree_labeled(g, parent, 8, rng);
+  EXPECT_TRUE(o.accepted);
+  EXPECT_EQ(o.max_coin_bits, 2 * 8);  // the root draws rho + nonce
+}
+
+TEST(StLabeled, DecisionUsesOnlyLocalViews) {
+  // The decision function throws if the protocol code ever reads beyond the
+  // node's locality — exercised here by feeding it a wrong "child".
+  Rng rng(5);
+  const Graph g = path_graph(4);  // 0-1-2-3
+  std::vector<NodeId> parent{-1, 0, 1, 2};
+  LabelStore labels(g, 3);
+  CoinStore coins(g, 3);
+  for (NodeId v = 0; v < 4; ++v) {
+    Label s;
+    s.put_flag(v == 0);
+    labels.assign_node(0, v, std::move(s));
+    coins.draw(1, v, v == 0 ? 2 : 1, 256, 8, rng);
+    Label r;
+    r.put(0, 8).put(0, 8);
+    labels.assign_node(2, v, std::move(r));
+  }
+  const NodeView view(labels, coins, 0);
+  // Node 3 is not a neighbor of node 0: the view must refuse.
+  EXPECT_THROW(st_labeled_node_decision(view, -1, {3}), InvariantError);
+}
+
+}  // namespace
+}  // namespace lrdip
