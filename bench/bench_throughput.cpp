@@ -3,7 +3,12 @@
 // library runs the full 5-round pipeline at interactive speeds.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
+#include "dip/parallel.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/planar_embedding.hpp"
@@ -52,6 +57,24 @@ void BM_PlanarEmbedding(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanarEmbedding)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
 
+// Thread scaling of the parallel verification engine at the largest
+// LR-sorting size. On a single-core host all entries coincide; on multicore
+// hosts the curve shows the per-node decision loops scaling.
+void BM_LrSortingThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng gen_rng(42);
+  const LrInstance gi = random_lr_yes(1 << 17, 1.0, gen_rng);
+  const LrSortingInstance inst = to_protocol_instance(gi);
+  Rng rng(1);
+  set_parallel_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_lr_sorting(inst, {3}, rng));
+  }
+  set_parallel_threads(0);
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_LrSortingThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_InstanceGeneration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(45);
@@ -64,4 +87,26 @@ BENCHMARK(BM_InstanceGeneration)->Arg(1 << 12)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the reporter to a google-benchmark JSON
+// file (BENCH_throughput.json in the working directory) so every run leaves a
+// machine-readable artifact. An explicit --benchmark_out on the command line
+// wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_throughput.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

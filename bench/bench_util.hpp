@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gen/generators.hpp"
+#include "graph/degeneracy.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -31,19 +32,14 @@ inline int soundness_trials(int def = 40) {
   return def;
 }
 
+/// Instance-to-protocol plumbing, including the precomputed accountable
+/// endpoints so repeated executions skip the degeneracy ordering.
 inline LrSortingInstance to_protocol_instance(const LrInstance& gi) {
   LrSortingInstance inst;
   inst.graph = &gi.graph;
   inst.order = gi.order;
-  inst.tail.resize(gi.graph.m());
-  std::vector<int> pos(gi.graph.n());
-  for (int i = 0; i < gi.graph.n(); ++i) pos[gi.order[i]] = i;
-  for (EdgeId e = 0; e < gi.graph.m(); ++e) {
-    const auto [u, v] = gi.graph.endpoints(e);
-    const NodeId earlier = pos[u] < pos[v] ? u : v;
-    const NodeId later = pos[u] < pos[v] ? v : u;
-    inst.tail[e] = gi.forward[e] ? earlier : later;
-  }
+  inst.tail = lr_claimed_tails(gi);
+  inst.accountable = accountable_endpoints(gi.graph);
   return inst;
 }
 

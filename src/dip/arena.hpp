@@ -1,0 +1,45 @@
+// Flat-memory backing for the execution substrate.
+//
+// A LabelArena hands out contiguous, stably-addressed slabs of empty labels.
+// One protocol execution allocates one slab per store (all rounds of all
+// nodes, round-major) instead of a vector-of-vectors with one heap cell per
+// (round, node) — the labels themselves are inline value types (see
+// label.hpp), so a slab is a single allocation and iterating it is a linear
+// walk. Slabs live until the arena dies; LabelStore owns its arena, so the
+// lifetime is exactly one execution.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dip/label.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+
+class LabelArena {
+ public:
+  LabelArena() = default;
+  LabelArena(const LabelArena&) = delete;
+  LabelArena& operator=(const LabelArena&) = delete;
+  LabelArena(LabelArena&&) = default;
+  LabelArena& operator=(LabelArena&&) = default;
+
+  /// Allocates a contiguous slab of `count` empty labels. The returned span
+  /// stays valid (and its addresses stable) for the arena's lifetime.
+  std::span<Label> allocate(std::size_t count) {
+    slabs_.emplace_back(count);
+    total_ += count;
+    return {slabs_.back().data(), slabs_.back().size()};
+  }
+
+  /// Total labels handed out across all slabs.
+  std::size_t size() const { return total_; }
+
+ private:
+  std::vector<std::vector<Label>> slabs_;  // each slab is one allocation
+  std::size_t total_ = 0;
+};
+
+}  // namespace lrdip

@@ -4,10 +4,18 @@
 // number of bits the honest prover would spend to transmit it. Protocols
 // address fields positionally (with named constants), so a label doubles as
 // its own wire format: bit_size() is the exact transmitted size.
+//
+// Storage is fully inline: every protocol in this library ships at most
+// kMaxFields fields per label per round (the widest is 3 today; the cap
+// leaves headroom), so a label is a fixed-size, allocation-free value type.
+// That makes arrays of labels contiguous slabs — the property LabelArena and
+// the flattened stores build on — and put() is enforced, not just documented:
+// widths outside [1, 64], values that do not fit their width, and overflowing
+// the field cap all throw InvariantError.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <cstddef>
 
 #include "support/check.hpp"
 
@@ -15,26 +23,52 @@ namespace lrdip {
 
 class Label {
  public:
+  /// Hard cap on fields per label (inline storage; see header comment).
+  static constexpr std::size_t kMaxFields = 8;
+
   /// Appends a field; value must fit in `bits` (1 <= bits <= 64).
-  Label& put(std::uint64_t value, int bits);
+  Label& put(std::uint64_t value, int bits) {
+    LRDIP_CHECK_MSG(bits >= 1 && bits <= 64, "label field width must be in [1, 64]");
+    LRDIP_CHECK_MSG(bits == 64 || value < (std::uint64_t{1} << bits),
+                    "label field value does not fit its declared width");
+    LRDIP_CHECK_MSG(count_ < kMaxFields, "label exceeds the inline field cap");
+    values_[count_] = value;
+    bits_[count_] = static_cast<std::uint8_t>(bits);
+    ++count_;
+    bit_size_ += bits;
+    return *this;
+  }
 
   /// Convenience for single-bit flags.
   Label& put_flag(bool value) { return put(value ? 1 : 0, 1); }
 
-  std::uint64_t get(std::size_t field) const;
+  /// Declares the number of fields about to be put (provers call this before
+  /// assembling a label). Storage is inline, so this only validates the count.
+  void reserve(std::size_t n) const {
+    LRDIP_CHECK_MSG(n <= kMaxFields, "label reserve exceeds the inline field cap");
+  }
+
+  std::uint64_t get(std::size_t field) const {
+    LRDIP_CHECK_MSG(field < count_, "label field out of range");
+    return values_[field];
+  }
   bool get_flag(std::size_t field) const { return get(field) != 0; }
 
-  std::size_t num_fields() const { return fields_.size(); }
-  bool empty() const { return fields_.empty(); }
+  /// Declared width of a field, in bits.
+  int field_bits(std::size_t field) const {
+    LRDIP_CHECK_MSG(field < count_, "label field out of range");
+    return bits_[field];
+  }
+
+  std::size_t num_fields() const { return count_; }
+  bool empty() const { return count_ == 0; }
   int bit_size() const { return bit_size_; }
 
  private:
-  struct Field {
-    std::uint64_t value;
-    int bits;
-  };
-  std::vector<Field> fields_;
-  int bit_size_ = 0;
+  std::uint64_t values_[kMaxFields] = {};
+  std::uint8_t bits_[kMaxFields] = {};
+  std::uint8_t count_ = 0;
+  std::uint16_t bit_size_ = 0;  // <= kMaxFields * 64
 };
 
 }  // namespace lrdip

@@ -1,0 +1,178 @@
+#include "dip/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lrdip {
+namespace {
+
+std::atomic<int> g_forced_threads{0};
+
+int default_threads() {
+  if (const char* env = std::getenv("LRDIP_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 1024) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Each participant claims chunks of `grain` indices from a shared counter.
+// Which thread runs which chunk varies run to run; the determinism contract
+// (disjoint writes) makes that unobservable.
+struct Job {
+  const detail::RangeBody* body = nullptr;
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<int> tokens{0};  // workers allowed to steal chunks (thread cap)
+  std::atomic<int> active{0};  // workers that still owe a response
+  // First-failing-chunk exception (lowest chunk index wins, so even failure
+  // is independent of the thread count).
+  std::mutex error_mu;
+  std::int64_t error_chunk = -1;
+  std::exception_ptr error;
+
+  void run_chunks() {
+    while (true) {
+      const std::int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::int64_t end = begin + grain < n ? begin + grain : n;
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        const std::int64_t chunk = begin / grain;
+        if (error_chunk == -1 || chunk < error_chunk) {
+          error_chunk = chunk;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Job& job, int helpers) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      while (static_cast<int>(workers_.size()) < helpers) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+      // Every live worker wakes and must respond; only `helpers` of them get
+      // a chunk-stealing token, so the thread cap is respected even when the
+      // pool is larger than this job wants.
+      job.tokens.store(helpers, std::memory_order_relaxed);
+      job.active.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+      job_ = &job;
+      ++generation_;
+    }
+    wake_.notify_all();
+    job.run_chunks();  // the caller is a full participant
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [&] { return job.active.load(std::memory_order_acquire) == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job == nullptr) continue;
+      if (job->tokens.fetch_sub(1, std::memory_order_acq_rel) > 0) job->run_chunks();
+      const bool last = job->active.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      if (last) {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_, done_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = false; }
+};
+
+}  // namespace
+
+int parallel_threads() {
+  const int forced = g_forced_threads.load(std::memory_order_relaxed);
+  return forced > 0 ? forced : default_threads();
+}
+
+void set_parallel_threads(int threads) {
+  g_forced_threads.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = parallel_threads();
+  // Inline when the loop is too small to split, a single thread is requested,
+  // or we are already inside a parallel region (no nested pools).
+  if (threads <= 1 || n <= grain || tl_in_parallel_region) {
+    body(0, n);
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.grain = grain;
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  const int helpers = static_cast<int>(std::min<std::int64_t>(threads - 1, chunks - 1));
+  {
+    RegionGuard region;
+    if (helpers <= 0) {
+      job.run_chunks();
+    } else {
+      Pool::instance().run(job, helpers);
+    }
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace detail
+}  // namespace lrdip

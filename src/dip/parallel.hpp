@@ -1,0 +1,47 @@
+// Parallel per-node verification engine.
+//
+// The final decision step of every protocol is embarrassingly parallel by the
+// KOS18 locality constraint: node v's decision reads only v's own coins and
+// the labels of v's closed neighborhood, and writes only v's accept flag.
+// parallel_for runs such loops on a persistent std::thread pool.
+//
+// Determinism contract: the loop body must write only to slots owned by its
+// index (disjoint writes) and must not read anything another iteration
+// writes. Under that contract the result is byte-identical for every thread
+// count, including 1 — chunk scheduling order is unobservable. Exceptions
+// thrown by the body are captured and rethrown in the calling thread; when
+// several chunks throw, the lowest-indexed chunk's exception wins, so even
+// failure is deterministic.
+//
+// Thread count: LRDIP_THREADS overrides std::thread::hardware_concurrency();
+// set_parallel_threads() overrides both (tests and benchmarks use it to pin
+// the count). Loops shorter than the grain run inline on the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace lrdip {
+
+/// Threads the executor would use right now (>= 1).
+int parallel_threads();
+
+/// Pins the executor's thread count; 0 restores the env/hardware default.
+void set_parallel_threads(int threads);
+
+namespace detail {
+using RangeBody = std::function<void(std::int64_t begin, std::int64_t end)>;
+void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& body);
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n), distributed over the thread pool.
+template <typename F>
+void parallel_for(std::int64_t n, F&& body, std::int64_t grain = 512) {
+  auto f = std::forward<F>(body);
+  detail::parallel_for_ranges(n, grain, [&f](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) f(i);
+  });
+}
+
+}  // namespace lrdip

@@ -1,43 +1,40 @@
 #include "dip/store.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/bits.hpp"
 
 namespace lrdip {
 
-LabelStore::LabelStore(const Graph& g, int rounds) : g_(&g) {
+LabelStore::LabelStore(const Graph& g, int rounds)
+    : g_(&g),
+      rounds_(rounds),
+      n_(static_cast<std::size_t>(g.n())),
+      m_(static_cast<std::size_t>(g.m())) {
   LRDIP_CHECK(rounds >= 1);
-  node_labels_.assign(rounds, std::vector<Label>(g.n()));
-  edge_labels_.assign(rounds, std::vector<Label>(g.m()));
+  node_slab_ = arena_.allocate(static_cast<std::size_t>(rounds) * n_);
+  edge_slab_ = arena_.allocate(static_cast<std::size_t>(rounds) * m_);
   charged_bits_.assign(g.n(), 0);
 }
 
 void LabelStore::assign_node(int round, NodeId v, Label label) {
-  LRDIP_CHECK(round >= 0 && round < rounds());
-  LRDIP_CHECK_MSG(node_labels_[round][v].empty(), "node label already assigned this round");
+  LRDIP_CHECK(round >= 0 && round < rounds_);
+  Label& slot = node_slab_[static_cast<std::size_t>(round) * n_ + v];
+  LRDIP_CHECK_MSG(slot.empty(), "node label already assigned this round");
   charged_bits_[v] += label.bit_size();
-  node_labels_[round][v] = std::move(label);
+  slot = label;
 }
 
 void LabelStore::assign_edge(int round, EdgeId e, Label label, NodeId accountable) {
-  LRDIP_CHECK(round >= 0 && round < rounds());
+  LRDIP_CHECK(round >= 0 && round < rounds_);
   const auto [a, b] = g_->endpoints(e);
   LRDIP_CHECK_MSG(accountable == a || accountable == b,
                   "edge label must be charged to one of its endpoints");
-  LRDIP_CHECK_MSG(edge_labels_[round][e].empty(), "edge label already assigned this round");
+  Label& slot = edge_slab_[static_cast<std::size_t>(round) * m_ + e];
+  LRDIP_CHECK_MSG(slot.empty(), "edge label already assigned this round");
   charged_bits_[accountable] += label.bit_size();
-  edge_labels_[round][e] = std::move(label);
-}
-
-const Label& LabelStore::node_label(int round, NodeId v) const {
-  LRDIP_CHECK(round >= 0 && round < rounds());
-  return node_labels_[round][v];
-}
-
-const Label& LabelStore::edge_label(int round, EdgeId e) const {
-  LRDIP_CHECK(round >= 0 && round < rounds());
-  return edge_labels_[round][e];
+  slot = label;
 }
 
 int LabelStore::proof_size_bits() const {
@@ -52,24 +49,33 @@ std::int64_t LabelStore::total_label_bits() const {
   return t;
 }
 
-CoinStore::CoinStore(const Graph& g, int rounds) {
-  coins_.assign(rounds, std::vector<std::vector<std::uint64_t>>(g.n()));
+CoinStore::CoinStore(const Graph& g, int rounds)
+    : rounds_(rounds), n_(static_cast<std::size_t>(g.n())) {
+  LRDIP_CHECK(rounds >= 1);
+  slots_.assign(static_cast<std::size_t>(rounds) * n_, Slot{});
   coin_bits_.assign(g.n(), 0);
 }
 
 std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
                                                std::uint64_t bound, int bits_each,
                                                Rng& rng) {
-  LRDIP_CHECK(round >= 0 && round < static_cast<int>(coins_.size()));
-  auto& slot = coins_[round][v];
-  for (int i = 0; i < count; ++i) slot.push_back(rng.uniform(bound));
+  LRDIP_CHECK(round >= 0 && round < rounds_);
+  Slot& s = slots_[static_cast<std::size_t>(round) * n_ + v];
+  const std::size_t tail = data_.size();
+  if (s.len == 0) {
+    s.offset = static_cast<std::uint32_t>(tail);
+  } else if (s.offset + s.len != tail) {
+    // A later slot drew in between; relocate this slot's coins to the tail so
+    // the slab entry stays contiguous. Rare (protocols draw a node's coins
+    // for one round together), so the copy cost is negligible.
+    for (std::uint32_t i = 0; i < s.len; ++i) data_.push_back(data_[s.offset + i]);
+    s.offset = static_cast<std::uint32_t>(tail);
+  }
+  for (int i = 0; i < count; ++i) data_.push_back(rng.uniform(bound));
+  s.len += static_cast<std::uint32_t>(count);
+  LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
   coin_bits_[v] += count * bits_each;
-  return slot;
-}
-
-std::span<const std::uint64_t> CoinStore::coins(int round, NodeId v) const {
-  LRDIP_CHECK(round >= 0 && round < static_cast<int>(coins_.size()));
-  return coins_[round][v];
+  return {data_.data() + s.offset, s.len};
 }
 
 int CoinStore::max_coin_bits() const {

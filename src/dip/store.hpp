@@ -8,13 +8,20 @@
 // verifier decision code receives: it exposes the node's own coins, its own
 // labels, its neighbors' labels, and incident-edge labels — nothing else — so
 // the locality constraint of the KOS18 model is enforced by construction.
+//
+// Layout: both stores are flat, round-major slabs indexed as
+// [round * width + id] — node and edge labels live in two LabelArena slabs
+// owned by the store, and coins live in one shared std::uint64_t slab with
+// per-(round, node) offset/length slots. One execution costs a constant
+// number of allocations regardless of n, m, or round count, and the per-node
+// decision step (which only reads) is safe to run from many threads at once.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
+#include "dip/arena.hpp"
 #include "dip/label.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
@@ -40,10 +47,16 @@ class LabelStore {
   void assign_node(int round, NodeId v, Label label);
   void assign_edge(int round, EdgeId e, Label label, NodeId accountable);
 
-  const Label& node_label(int round, NodeId v) const;
-  const Label& edge_label(int round, EdgeId e) const;
+  const Label& node_label(int round, NodeId v) const {
+    LRDIP_CHECK(round >= 0 && round < rounds_);
+    return node_slab_[static_cast<std::size_t>(round) * n_ + v];
+  }
+  const Label& edge_label(int round, EdgeId e) const {
+    LRDIP_CHECK(round >= 0 && round < rounds_);
+    return edge_slab_[static_cast<std::size_t>(round) * m_ + e];
+  }
 
-  int rounds() const { return static_cast<int>(node_labels_.size()); }
+  int rounds() const { return rounds_; }
   const Graph& graph() const { return *g_; }
 
   /// Max over nodes of charged bits.
@@ -54,10 +67,12 @@ class LabelStore {
 
  private:
   const Graph* g_;
-  std::vector<std::vector<Label>> node_labels_;  // [round][node]
-  std::vector<std::vector<Label>> edge_labels_;  // [round][edge]
-  std::vector<int> charged_bits_;                // [node]
-  Label empty_;
+  int rounds_;
+  std::size_t n_, m_;
+  LabelArena arena_;
+  std::span<Label> node_slab_;    // [round * n + v]
+  std::span<Label> edge_slab_;    // [round * m + e]
+  std::vector<int> charged_bits_;  // [node]
 };
 
 class CoinStore {
@@ -65,17 +80,33 @@ class CoinStore {
   CoinStore(const Graph& g, int rounds);
 
   /// Draws and records `count` coins uniform below `bound` for node v in the
-  /// given verifier round. Returns the values (also retrievable later).
+  /// given verifier round. Returns the values (also retrievable later); the
+  /// returned span is invalidated by the next draw.
   std::span<const std::uint64_t> draw(int round, NodeId v, int count,
                                       std::uint64_t bound, int bits_each, Rng& rng);
 
-  std::span<const std::uint64_t> coins(int round, NodeId v) const;
+  std::span<const std::uint64_t> coins(int round, NodeId v) const {
+    const Slot& s = slot(round, v);
+    return {data_.data() + s.offset, s.len};
+  }
   int max_coin_bits() const;
   const std::vector<int>& coin_bits() const { return coin_bits_; }
 
  private:
-  std::vector<std::vector<std::vector<std::uint64_t>>> coins_;  // [round][node][i]
-  std::vector<int> coin_bits_;                                  // [node]
+  struct Slot {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+  const Slot& slot(int round, NodeId v) const {
+    LRDIP_CHECK(round >= 0 && round < rounds_);
+    return slots_[static_cast<std::size_t>(round) * n_ + v];
+  }
+
+  int rounds_;
+  std::size_t n_;
+  std::vector<Slot> slots_;           // [round * n + v] into data_
+  std::vector<std::uint64_t> data_;   // shared coin slab
+  std::vector<int> coin_bits_;        // [node]
 };
 
 /// The verifier's eyes at one node. Created by the protocol driver for the

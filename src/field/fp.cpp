@@ -7,41 +7,11 @@ namespace lrdip {
 Fp::Fp(std::uint64_t p) : p_(p) {
   LRDIP_CHECK_MSG(p >= 2 && p < (std::uint64_t{1} << 62), "modulus out of range");
   LRDIP_CHECK_MSG(is_prime(p), "Fp modulus must be prime");
-}
-
-std::uint64_t Fp::add(std::uint64_t a, std::uint64_t b) const {
-  std::uint64_t s = a + b;
-  return s >= p_ ? s - p_ : s;
-}
-
-std::uint64_t Fp::sub(std::uint64_t a, std::uint64_t b) const {
-  return a >= b ? a - b : a + p_ - b;
-}
-
-std::uint64_t Fp::mul(std::uint64_t a, std::uint64_t b) const {
-  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % p_);
-}
-
-std::uint64_t Fp::pow(std::uint64_t base, std::uint64_t exp) const {
-  std::uint64_t r = 1 % p_;
-  base %= p_;
-  while (exp > 0) {
-    if (exp & 1) r = mul(r, base);
-    base = mul(base, base);
-    exp >>= 1;
+  if (p < (std::uint64_t{1} << 32)) {
+    // floor(2^64 / p), computed without overflowing: 2^64 = q*p + r0.
+    const std::uint64_t r0 = (~std::uint64_t{0} % p + 1) % p;
+    barrett_m_ = r0 == 0 ? ~std::uint64_t{0} / p + 1 : (~std::uint64_t{0} - (r0 - 1)) / p;
   }
-  return r;
-}
-
-std::uint64_t Fp::inv(std::uint64_t a) const {
-  LRDIP_CHECK_MSG(a % p_ != 0, "inverse of zero");
-  return pow(a, p_ - 2);
-}
-
-std::uint64_t Fp::multiset_poly(std::span<const std::uint64_t> multiset, std::uint64_t x) const {
-  std::uint64_t acc = 1 % p_;
-  for (std::uint64_t s : multiset) acc = mul(acc, sub(reduce(s), reduce(x)));
-  return acc;
 }
 
 }  // namespace lrdip

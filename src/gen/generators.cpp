@@ -567,4 +567,24 @@ LrInstance random_lr_no(int n, double arc_factor, int flips, Rng& rng) {
   return inst;
 }
 
+std::vector<int> lr_path_positions(const LrInstance& inst) {
+  std::vector<int> pos(inst.graph.n());
+  for (int i = 0; i < inst.graph.n(); ++i) pos[inst.order[i]] = i;
+  return pos;
+}
+
+std::vector<NodeId> lr_claimed_tails(const LrInstance& inst) {
+  LRDIP_CHECK(static_cast<int>(inst.forward.size()) == inst.graph.m());
+  const std::vector<int> pos = lr_path_positions(inst);
+  std::vector<NodeId> tail;
+  tail.reserve(inst.graph.m());
+  for (EdgeId e = 0; e < inst.graph.m(); ++e) {
+    const auto [u, v] = inst.graph.endpoints(e);
+    const NodeId earlier = pos[u] < pos[v] ? u : v;
+    const NodeId later = pos[u] < pos[v] ? v : u;
+    tail.push_back(inst.forward[e] ? earlier : later);
+  }
+  return tail;
+}
+
 }  // namespace lrdip

@@ -175,4 +175,12 @@ LrInstance random_lr_yes(int n, double arc_factor, Rng& rng);
 /// No-instance: same construction with `flips` non-path edges reversed.
 LrInstance random_lr_no(int n, double arc_factor, int flips, Rng& rng);
 
+/// Position of every node on the instance's Hamiltonian path.
+std::vector<int> lr_path_positions(const LrInstance& inst);
+
+/// The claimed tail (origin endpoint) per edge id: `forward` applied to the
+/// path order. This is the instance-to-protocol plumbing every harness needs;
+/// hoisted here so benchmarks, tests, and examples share one copy.
+std::vector<NodeId> lr_claimed_tails(const LrInstance& inst);
+
 }  // namespace lrdip

@@ -14,22 +14,39 @@ std::pair<std::vector<NodeId>, int> degeneracy_order(const Graph& g) {
     deg[v] = g.degree(v);
     maxdeg = std::max(maxdeg, deg[v]);
   }
-  // Bucket queue.
-  std::vector<std::vector<NodeId>> bucket(maxdeg + 1);
-  for (NodeId v = 0; v < n; ++v) bucket[deg[v]].push_back(v);
+  // Bucket queue with lazy deletion. Each bucket is a LIFO stack threaded
+  // through one preallocated arena (node, next-entry) — a push is two stores,
+  // so the whole run allocates three flat arrays and nothing else. Total
+  // pushes are bounded by n initial entries plus one per degree decrement,
+  // i.e. n + 2m.
+  const std::size_t cap = static_cast<std::size_t>(n) + 2 * static_cast<std::size_t>(g.m());
+  std::vector<NodeId> entry_node(cap);
+  std::vector<std::int64_t> entry_next(cap);
+  std::vector<std::int64_t> head(maxdeg + 1, -1);
+  std::size_t used = 0;
+  auto push = [&](int b, NodeId v) {
+    entry_node[used] = v;
+    entry_next[used] = head[b];
+    head[b] = static_cast<std::int64_t>(used);
+    ++used;
+  };
+  for (NodeId v = 0; v < n; ++v) push(deg[v], v);
   std::vector<char> removed(n, 0);
   std::vector<NodeId> order;
   order.reserve(n);
   int degeneracy = 0;
+  // Removing a minimum-degree node drops its neighbors' degrees by one, so the
+  // minimum degree falls by at most one per round: resuming the bucket scan at
+  // d-1 visits the same valid entries as a rescan from zero (entries parked in
+  // lower buckets are stale forever) and keeps the scan amortized linear.
+  int d = 0;
   for (int taken = 0; taken < n; ++taken) {
-    // Degrees may drop, so rescan buckets from 0 each round; amortized fine
-    // for the sizes we run.
-    int d = 0;
+    if (d > 0) --d;
     while (true) {
-      while (d <= maxdeg && bucket[d].empty()) ++d;
+      while (d <= maxdeg && head[d] < 0) ++d;
       LRDIP_CHECK(d <= maxdeg);
-      const NodeId v = bucket[d].back();
-      bucket[d].pop_back();
+      const NodeId v = entry_node[head[d]];
+      head[d] = entry_next[head[d]];
       if (removed[v] || deg[v] != d) continue;  // stale entry
       degeneracy = std::max(degeneracy, d);
       removed[v] = 1;
@@ -37,7 +54,7 @@ std::pair<std::vector<NodeId>, int> degeneracy_order(const Graph& g) {
       for (const Half& h : g.neighbors(v)) {
         if (!removed[h.to]) {
           --deg[h.to];
-          bucket[deg[h.to]].push_back(h.to);
+          push(deg[h.to], h.to);
         }
       }
       break;
@@ -91,6 +108,19 @@ ForestDecomposition forest_decomposition(const Graph& g) {
   }
   for (int e = 0; e < g.m(); ++e) LRDIP_CHECK(out.edge_forest[e] != -1);
   return out;
+}
+
+std::vector<NodeId> accountable_endpoints(const Graph& g) {
+  const auto [order, d] = degeneracy_order(g);
+  (void)d;
+  std::vector<int> rank(g.n());
+  for (int i = 0; i < g.n(); ++i) rank[order[i]] = i;
+  std::vector<NodeId> acc(g.m());
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    acc[e] = rank[u] < rank[v] ? u : v;
+  }
+  return acc;
 }
 
 }  // namespace lrdip

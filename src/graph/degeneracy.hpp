@@ -38,4 +38,11 @@ struct ForestDecomposition {
 /// this yields at most 5 forests.
 ForestDecomposition forest_decomposition(const Graph& g);
 
+/// Per-edge accountable endpoint for the Lemma 2.4 edge-label simulation: the
+/// endpoint removed earlier in the degeneracy order (<= degeneracy edges are
+/// charged to any one node; <= 5 on planar graphs). A pure function of the
+/// graph — instance holders precompute it once and reuse it across protocol
+/// executions.
+std::vector<NodeId> accountable_endpoints(const Graph& g);
+
 }  // namespace lrdip

@@ -22,12 +22,6 @@ NodeId Graph::add_node() {
   return n() - 1;
 }
 
-NodeId Graph::other_end(EdgeId e, NodeId v) const {
-  const auto [a, b] = edges_[e];
-  LRDIP_CHECK(v == a || v == b);
-  return v == a ? b : a;
-}
-
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {
   if (degree(u) > degree(v)) std::swap(u, v);
   for (const Half& h : adj_[u]) {

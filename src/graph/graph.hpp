@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace lrdip {
 
 using NodeId = int;
@@ -43,7 +45,11 @@ class Graph {
   std::pair<NodeId, NodeId> endpoints(EdgeId e) const { return edges_[e]; }
 
   /// The endpoint of e that is not v. v must be an endpoint of e.
-  NodeId other_end(EdgeId e, NodeId v) const;
+  NodeId other_end(EdgeId e, NodeId v) const {
+    const auto [a, b] = edges_[e];
+    LRDIP_CHECK(v == a || v == b);
+    return v == a ? b : a;
+  }
 
   /// O(deg) membership test; returns an edge id or -1.
   EdgeId find_edge(NodeId u, NodeId v) const;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
 
 #include "field/fp.hpp"
 #include "field/primes.hpp"
@@ -43,21 +43,6 @@ PathLocal path_locals(const LrSortingInstance& inst) {
     if (std::abs(pl.pos[u] - pl.pos[v]) == 1) pl.is_path_edge[e] = 1;
   }
   return pl;
-}
-
-/// Edge-label accounting: charge each edge to the endpoint removed earlier in
-/// the degeneracy order (<= degeneracy edges per node; <= 5 on planar graphs).
-std::vector<NodeId> accountable_endpoints(const Graph& g) {
-  const auto [order, d] = degeneracy_order(g);
-  (void)d;
-  std::vector<int> rank(g.n());
-  for (int i = 0; i < g.n(); ++i) rank[order[i]] = i;
-  std::vector<NodeId> acc(g.m());
-  for (EdgeId e = 0; e < g.m(); ++e) {
-    const auto [u, v] = g.endpoints(e);
-    acc[e] = rank[u] < rank[v] ? u : v;
-  }
-  return acc;
 }
 
 /// Trivial one-round protocol for paths too short for the block machinery,
@@ -123,6 +108,20 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   if (cheat != nullptr && cheat->shift_block && nb >= 2) {
     blk_pos[1 + rng.uniform(nb - 1)] += 1;  // corrupt one non-first block
   }
+  // v_b per block: the least significant 0-bit of x1 (largest index with bit
+  // 0) — a function of the block alone, so compute it once per block rather
+  // than once per node.
+  std::vector<int> jb_blk(nb, -1);
+  for (int b = 0; b < nb; ++b) {
+    const std::uint64_t x1 = blk_pos[b];
+    for (int t = B; t >= 1; --t) {
+      if (((x1 >> (B - t)) & 1) == 0) {
+        jb_blk[b] = t;
+        break;
+      }
+    }
+    LRDIP_CHECK_MSG(jb_blk[b] != -1, "block position overflow (all-ones)");
+  }
   for (int i = 0; i < n; ++i) {
     const NodeId v = inst.order[i];
     const int b = block_of_pos(i);
@@ -133,15 +132,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
       const std::uint64_t x2 = blk_pos[b] + 1;
       x1b[v] = static_cast<char>((x1 >> (B - j)) & 1);
       x2b[v] = static_cast<char>((x2 >> (B - j)) & 1);
-      // v_b: the least significant 0-bit of x1 (largest index j with bit 0).
-      int jb = -1;
-      for (int t = B; t >= 1; --t) {
-        if (((x1 >> (B - t)) & 1) == 0) {
-          jb = t;
-          break;
-        }
-      }
-      LRDIP_CHECK_MSG(jb != -1, "block position overflow (all-ones)");
+      const int jb = jb_blk[b];
       rel[v] = j < jb ? 0 : (j == jb ? 1 : 2);
     }
   }
@@ -167,21 +158,30 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   auto pfx_before = [&](NodeId v) { return idx[v] == 1 ? std::uint64_t{1} : pfx[pl.left[v]]; };
 
   // phi^b_{i-1}(r') for block b and index i, from the ground truth encoding.
-  auto phi_prefix = [&](int b, int upto_exclusive) {
-    std::uint64_t acc = 1;
+  // One row of prefix products per block, filled once: the edge-commitment
+  // pass below queries this O(m * B) times in the worst case, so the O(nb * B)
+  // table turns each query into a load.
+  std::vector<std::uint64_t> phi_pref(static_cast<std::size_t>(nb) * (B + 1));
+  parallel_for(nb, [&](std::int64_t b) {
+    std::uint64_t* row = phi_pref.data() + static_cast<std::size_t>(b) * (B + 1);
     const std::uint64_t x1 = blk_pos[b];
-    for (int t = 1; t < upto_exclusive; ++t) {
+    std::uint64_t acc = 1;
+    for (int t = 1; t <= B; ++t) {
+      row[t] = acc;  // product over indices strictly below t
       if ((x1 >> (B - t)) & 1) acc = f.mul(acc, f.sub(static_cast<std::uint64_t>(t), rp));
     }
-    return acc;
+  });
+  auto phi_prefix = [&](int b, int upto_exclusive) {
+    return phi_pref[static_cast<std::size_t>(b) * (B + 1) + upto_exclusive];
   };
 
   // ---- Edge commitments (prover, adaptive best effort on lies).
   std::vector<char> kind(g.m(), 0);
   std::vector<int> dist_i(g.m(), 1);
   std::vector<std::uint64_t> jval(g.m(), 0);
-  for (EdgeId e = 0; e < g.m(); ++e) {
-    if (pl.is_path_edge[e]) continue;
+  parallel_for(g.m(), [&](std::int64_t ei) {
+    const EdgeId e = static_cast<EdgeId>(ei);
+    if (pl.is_path_edge[e]) return;
     const NodeId t = inst.tail[e];
     const NodeId h = g.other_end(e, t);
     const int bt = block_of_pos(pl.pos[t]);
@@ -213,7 +213,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
       // picks the classification/commitment with the best winning odds.
       if (bt != bh && idx[t] < idx[h] && rb[bt] == rb[bh]) {
         kind[e] = 0;  // inner-block bluff wins outright on an r_b collision
-        continue;
+        return;
       }
       kind[e] = 1;
       // Look for an index where the bits support the claim AND the prefix
@@ -235,7 +235,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
       dist_i[e] = best;
       jval[e] = phi_prefix(bt, best);
     }
-  }
+  });
 
   if (cheat != nullptr && cheat->misclassify_edge) {
     // Reclassify one truthful cross-block edge whose in-block indices happen
@@ -256,61 +256,117 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   }
 
   // ---- Per-node C0/C1 sets and their consistency checks (E3).
+  // CSR layout over nodes: one flat (index, j) array per side with per-node
+  // [offset, end) segments; dedup shrinks `end` in place. Replaces one heap
+  // vector per node and side.
   std::vector<char> accept(n, 1);
-  std::vector<std::vector<std::pair<int, std::uint64_t>>> c0(n), c1(n);
+  using Commit = std::pair<int, std::uint64_t>;
+  std::vector<std::uint32_t> c0_off(n + 1, 0), c1_off(n + 1, 0);
   for (EdgeId e = 0; e < g.m(); ++e) {
-    if (pl.is_path_edge[e] || kind[e] != 1) continue;
+    if (pl.is_path_edge[e]) continue;
+    if (kind[e] != 1) {
+      // Inner-block edges: index order and r_b equality, checked by both
+      // endpoints (hoisted out of the per-node decision loop — one pass over
+      // the edges instead of a neighbor scan per node).
+      const NodeId t = inst.tail[e];
+      const NodeId hd = g.other_end(e, t);
+      if (idx[t] >= idx[hd] ||
+          rb[block_of_pos(pl.pos[t])] != rb[block_of_pos(pl.pos[hd])]) {
+        accept[t] = accept[hd] = 0;
+      }
+      continue;
+    }
     if (dist_i[e] < 1 || dist_i[e] > B) {
       const auto [a, b2] = g.endpoints(e);
       accept[a] = accept[b2] = 0;
       continue;
     }
+    ++c0_off[inst.tail[e] + 1];
+    ++c1_off[g.other_end(e, inst.tail[e]) + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    c0_off[v + 1] += c0_off[v];
+    c1_off[v + 1] += c1_off[v];
+  }
+  std::vector<Commit> c0_data(c0_off[n]), c1_data(c1_off[n]);
+  std::vector<std::uint32_t> c0_end(c0_off.begin(), c0_off.end() - 1);
+  std::vector<std::uint32_t> c1_end(c1_off.begin(), c1_off.end() - 1);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (pl.is_path_edge[e] || kind[e] != 1) continue;
+    if (dist_i[e] < 1 || dist_i[e] > B) continue;
     const NodeId t = inst.tail[e];
     const NodeId h = g.other_end(e, t);
-    c0[t].emplace_back(dist_i[e], jval[e]);
-    c1[h].emplace_back(dist_i[e], jval[e]);
+    c0_data[c0_end[t]++] = {dist_i[e], jval[e]};
+    c1_data[c1_end[h]++] = {dist_i[e], jval[e]};
   }
-  auto dedup = [](std::vector<std::pair<int, std::uint64_t>>& v) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  };
-  for (NodeId v = 0; v < n; ++v) {
-    dedup(c0[v]);
-    dedup(c1[v]);
+  auto c0_begin = [&](NodeId v) { return c0_data.data() + c0_off[v]; };
+  auto c0_stop = [&](NodeId v) { return c0_data.data() + c0_end[v]; };
+  auto c1_begin = [&](NodeId v) { return c1_data.data() + c1_off[v]; };
+  auto c1_stop = [&](NodeId v) { return c1_data.data() + c1_end[v]; };
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    // Dedup each side in place within its segment.
+    std::sort(c0_begin(v), c0_stop(v));
+    c0_end[v] = static_cast<std::uint32_t>(
+        std::unique(c0_begin(v), c0_stop(v)) - c0_data.data());
+    std::sort(c1_begin(v), c1_stop(v));
+    c1_end[v] = static_cast<std::uint32_t>(
+        std::unique(c1_begin(v), c1_stop(v)) - c1_data.data());
     // No index may appear on both sides, nor with two different j values.
-    std::map<int, std::uint64_t> seen;
+    // After dedup both sides are sorted with distinct pairs, so a repeated
+    // index shows up as adjacent entries and a shared index falls out of a
+    // linear merge of the two segments.
     bool ok = true;
-    for (const auto& [i, j] : c0[v]) {
-      auto [it, fresh] = seen.emplace(i, j);
-      ok = ok && (fresh || it->second == j);
+    for (const Commit* p = c0_begin(v); p + 1 < c0_stop(v); ++p) {
+      ok = ok && (p[0].first != p[1].first);
     }
-    for (const auto& [i, j] : c1[v]) {
-      ok = ok && !std::count_if(c0[v].begin(), c0[v].end(),
-                                [&](const auto& p) { return p.first == i; });
-      auto [it, fresh] = seen.emplace(i, j);
-      ok = ok && (fresh || it->second == j);
+    for (const Commit* p = c1_begin(v); p + 1 < c1_stop(v); ++p) {
+      ok = ok && (p[0].first != p[1].first);
+    }
+    const Commit* p0 = c0_begin(v);
+    const Commit* p1 = c1_begin(v);
+    while (p0 != c0_stop(v) && p1 != c1_stop(v)) {
+      if (p0->first == p1->first) {
+        ok = false;
+        break;
+      }
+      if (p0->first < p1->first) {
+        ++p0;
+      } else {
+        ++p1;
+      }
     }
     if (!ok) accept[v] = 0;
-  }
+  });
 
   // ---- Multiplicities M_v (prover): count matching elements in the block
-  // multisets (the best any prover can do).
-  std::vector<std::map<std::pair<int, std::uint64_t>, int>> block_c0(nb), block_c1(nb);
-  for (NodeId v = 0; v < n; ++v) {
-    const int b = block_of_pos(pl.pos[v]);
-    for (const auto& p : c0[v]) block_c0[b][p] += 1;
-    for (const auto& p : c1[v]) block_c1[b][p] += 1;
-  }
+  // multisets (the best any prover can do). Sorted flat vectors per block;
+  // multiplicity lookups become equal_range counts.
+  std::vector<std::vector<Commit>> block_c0(nb), block_c1(nb);
+  parallel_for(nb, [&](std::int64_t b) {
+    const int lo = static_cast<int>(b) * B;
+    const int hi = (b == nb - 1) ? n : lo + B;
+    auto& v0 = block_c0[b];
+    auto& v1 = block_c1[b];
+    for (int i = lo; i < hi; ++i) {
+      const NodeId v = inst.order[i];
+      v0.insert(v0.end(), c0_begin(v), c0_stop(v));
+      v1.insert(v1.end(), c1_begin(v), c1_stop(v));
+    }
+    std::sort(v0.begin(), v0.end());
+    std::sort(v1.begin(), v1.end());
+  });
   std::vector<int> mult(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
     const int j = idx[v];
-    if (j > B) continue;
+    if (j > B) return;
     const int b = block_of_pos(pl.pos[v]);
-    const std::pair<int, std::uint64_t> key{j, pfx_before(v)};
+    const Commit key{j, pfx_before(v)};
     const auto& side = x1b[v] ? block_c1[b] : block_c0[b];
-    const auto it = side.find(key);
-    mult[v] = it == side.end() ? 0 : std::min(it->second, 2 * B);
-  }
+    const auto [first, last] = std::equal_range(side.begin(), side.end(), key);
+    mult[v] = std::min(static_cast<int>(last - first), 2 * B);
+  });
 
   if (cheat != nullptr && cheat->corrupt_multiplicity) {
     // Overstate one multiplicity; the R-side product of the verification
@@ -338,8 +394,12 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     const std::uint64_t pq0 = (j == 1) ? 1 : q0[pl.left[v]];
     const std::uint64_t pr0 = (j == 1) ? 1 : r0[pl.left[v]];
     std::uint64_t l1 = 1, l0 = 1;
-    for (const auto& [ii, jj] : c1[v]) l1 = f2.mul(l1, f2.sub(enc(ii, jj), z));
-    for (const auto& [ii, jj] : c0[v]) l0 = f2.mul(l0, f2.sub(enc(ii, jj), z));
+    for (const Commit* p = c1_begin(v); p != c1_stop(v); ++p) {
+      l1 = f2.mul(l1, f2.sub(enc(p->first, p->second), z));
+    }
+    for (const Commit* p = c0_begin(v); p != c0_stop(v); ++p) {
+      l0 = f2.mul(l0, f2.sub(enc(p->first, p->second), z));
+    }
     std::uint64_t d1 = 1, d0 = 1;
     if (j <= B) {
       const std::uint64_t el = f2.sub(enc(j, pfx_before(v)), z);
@@ -356,7 +416,21 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   }
 
   // ---- Decision: every remaining local check.
-  for (int i = 0; i < n; ++i) {
+  // Per-block boundary products A1(x1_b) and A2(x2_b) at r, computed once so
+  // the adjacent-block equality below is a pair of loads per boundary node.
+  std::vector<std::uint64_t> a1_blk(nb), a2_blk(nb);
+  parallel_for(nb, [&](std::int64_t b) {
+    const std::uint64_t x1 = blk_pos[b];
+    const std::uint64_t x2 = blk_pos[b] + 1;
+    std::uint64_t a1 = 1, a2 = 1;
+    for (int t = 1; t <= B; ++t) {
+      if ((x1 >> (B - t)) & 1) a1 = f.mul(a1, f.sub(static_cast<std::uint64_t>(t), r));
+      if ((x2 >> (B - t)) & 1) a2 = f.mul(a2, f.sub(static_cast<std::uint64_t>(t), r));
+    }
+    a1_blk[b] = a1;
+    a2_blk[b] = a2;
+  });
+  parallel_for(n, [&](std::int64_t i) {
     const NodeId v = inst.order[i];
     const int j = idx[v];
     bool ok = true;
@@ -398,31 +472,18 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     // place a lie can hide (the chains themselves are deterministic).
     if (last_in_block && rv != -1) {
       // A2 of this block vs A1 of the next block.
-      const int b = block_of_pos(i);
+      const int b = block_of_pos(static_cast<int>(i));
       const int b2 = block_of_pos(pl.pos[rv]);
-      std::uint64_t a2 = 1, a1 = 1;
-      const std::uint64_t x2v = blk_pos[b] + 1;
-      const std::uint64_t x1w = blk_pos[b2];
-      for (int t = 1; t <= B; ++t) {
-        if ((x2v >> (B - t)) & 1) a2 = f.mul(a2, f.sub(static_cast<std::uint64_t>(t), r));
-        if ((x1w >> (B - t)) & 1) a1 = f.mul(a1, f.sub(static_cast<std::uint64_t>(t), r));
-      }
-      ok = ok && (a2 == a1);
+      ok = ok && (a2_blk[b] == a1_blk[b2]);
     }
     // Verification-scheme block-end comparisons.
     if (last_in_block) {
       ok = ok && (q1[v] == r1[v]) && (q0[v] == r0[v]);
     }
-    // Inner-block edges: index order and r_b equality.
-    for (const Half& h : g.neighbors(v)) {
-      if (pl.is_path_edge[h.edge] || kind[h.edge] != 0) continue;
-      const NodeId t = inst.tail[h.edge];
-      const NodeId hd = g.other_end(h.edge, t);
-      if (idx[t] >= idx[hd]) ok = false;
-      if (rb[block_of_pos(pl.pos[t])] != rb[block_of_pos(pl.pos[hd])]) ok = false;
-    }
+    // (Inner-block edge checks ran in the edge pass above; their rejections
+    // are already recorded in `accept`.)
     if (!ok) accept[v] = 0;
-  }
+  });
 
   // ---- Accounting.
   StageResult out;
@@ -430,7 +491,10 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   out.node_bits.assign(n, 0);
   out.coin_bits.assign(n, 0);
   out.rounds = kLrSortingRounds;
-  const std::vector<NodeId> acc_end = accountable_endpoints(g);
+  std::vector<NodeId> acc_storage;
+  if (inst.accountable.empty()) acc_storage = accountable_endpoints(g);
+  const std::vector<NodeId>& acc_end = inst.accountable.empty() ? acc_storage : inst.accountable;
+  LRDIP_CHECK(static_cast<int>(acc_end.size()) == g.m());
   for (NodeId v = 0; v < n; ++v) {
     int bits = kEdgeSimFramingBits;
     bits += idx_bits + 1 + 1 + 2 + mult_bits;       // R1 node fields

@@ -54,6 +54,11 @@ struct LrSortingInstance {
   std::vector<NodeId> order;
   /// Orientation: edge e is directed tail[e] -> head.
   std::vector<NodeId> tail;
+  /// Optional: accountable endpoint per edge (see accountable_endpoints in
+  /// graph/degeneracy.hpp). A pure function of the graph; fill it once per
+  /// instance to amortize the degeneracy ordering across protocol executions.
+  /// Left empty, the stage computes it on demand.
+  std::vector<NodeId> accountable;
 };
 
 struct LrParams {

@@ -65,15 +65,15 @@ StageResult verify_multiset_equality(const Graph& g, const RootedForest& tree,
   out.coin_bits.assign(n, 0);
   out.coin_bits[root] = fbits;
   out.rounds = 2;
-  for (NodeId v = 0; v < n; ++v) {
+  out.node_accepts = decide_nodes(n, [&](NodeId v) {
     std::uint64_t p1 = f.multiset_poly(in.s1[v], z);
     std::uint64_t p2 = f.multiset_poly(in.s2[v], z);
     for (NodeId c : children[v]) {
       p1 = f.mul(p1, a1[c]);
       p2 = f.mul(p2, a2[c]);
     }
-    if (a1[v] != p1 || a2[v] != p2) out.node_accepts[v] = 0;
-  }
+    return a1[v] == p1 && a2[v] == p2;
+  });
   if (a1[root] != a2[root]) out.node_accepts[root] = 0;
   return out;
 }

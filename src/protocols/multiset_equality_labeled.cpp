@@ -37,14 +37,14 @@ Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tre
     a1[v] = p1;
     a2[v] = p2;
     Label l;
+    l.reserve(3);
     l.put(z, fbits).put(p1, fbits).put(p2, fbits);
     labels.assign_node(L::kRoundResponse, v, std::move(l));
   }
 
   // --- Decision via NodeViews: the z relay, the product recurrences, the
-  // root comparison.
-  bool all = true;
-  for (NodeId v = 0; v < n; ++v) {
+  // root comparison (one node per executor iteration).
+  const std::vector<char> accepts = decide_nodes(n, [&](NodeId v) {
     const NodeView view(labels, coins, v);
     const Label& mine = view.own(L::kRoundResponse);
     const std::uint64_t zv = mine.get(L::kFieldZ);
@@ -62,9 +62,10 @@ Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tre
       p1 = f.mul(p1, cl.get(L::kFieldA1));
       p2 = f.mul(p2, cl.get(L::kFieldA2));
     }
-    ok = ok && (mine.get(L::kFieldA1) == p1) && (mine.get(L::kFieldA2) == p2);
-    if (!ok) all = false;
-  }
+    return ok && (mine.get(L::kFieldA1) == p1) && (mine.get(L::kFieldA2) == p2);
+  });
+  bool all = true;
+  for (char a : accepts) all = all && a;
 
   Outcome o;
   o.accepted = all;

@@ -141,7 +141,7 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
     return walk(anchor, 0);
   };
 
-  for (NodeId v = 0; v < n; ++v) {
+  out.node_accepts = decide_nodes(n, [&](NodeId v) {
     bool ok = true;
     std::vector<EdgeId> right_edges, left_edges;
     for (const Half& h : g.neighbors(v)) {
@@ -191,24 +191,13 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
     if (i + 1 < n && !(above_r[v] == above_l[order[i + 1]])) ok = false;
     if (i == 0 && !above_l[v].bottom) ok = false;
     if (i == n - 1 && !above_r[v].bottom) ok = false;
-    if (!ok) out.node_accepts[v] = 0;
-  }
+    return ok;
+  });
 
   // --- Accounting.
   const int name_bits = 2 * ls;      // echo of (s_u, s_v)
   const int succ_bits = 2 * ls + 1;  // successor name + bottom flag
-  const std::vector<NodeId> acc = [&] {
-    const auto [ord, d] = degeneracy_order(g);
-    (void)d;
-    std::vector<int> rank(g.n());
-    for (int t = 0; t < g.n(); ++t) rank[ord[t]] = t;
-    std::vector<NodeId> a(g.m());
-    for (EdgeId e = 0; e < g.m(); ++e) {
-      const auto [x, y] = g.endpoints(e);
-      a[e] = rank[x] < rank[y] ? x : y;
-    }
-    return a;
-  }();
+  const std::vector<NodeId> acc = accountable_endpoints(g);
   for (NodeId v = 0; v < n; ++v) {
     out.node_bits[v] += 2 * succ_bits;  // above_left / above_right
   }

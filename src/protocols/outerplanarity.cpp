@@ -135,8 +135,9 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
     }
     // Checks at non-cut nodes: every neighbor shares (sep, lead) or is a cut
     // node whose own fragment equals sep(v).
-    for (NodeId v = 0; v < n; ++v) {
-      if (bct.decomp.is_cut[v]) continue;
+    parallel_for(n, [&](std::int64_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if (bct.decomp.is_cut[v]) return;
       for (const Half& h : g.neighbors(v)) {
         const NodeId u = h.to;
         const bool same = (sep_lbl[u] == sep_lbl[v] && sep_bot[u] == sep_bot[v] &&
@@ -145,7 +146,7 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
                              sep_lbl[v] == frag[u];
         if (!same && !via_cut) stage1.node_accepts[v] = 0;
       }
-    }
+    });
     // Leaders check the separating fragment across the closing edge e_C.
     for (int b = 0; b < nblocks; ++b) {
       const NodeId lead = leader_of[b];

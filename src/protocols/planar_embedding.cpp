@@ -146,10 +146,11 @@ std::vector<char> corner_order_checks(const Graph& g, const RotationSystem& rot,
   // copy at v for edge e: walk ccw to the first tree edge (same rule as the
   // expansion); memoize per (v, position).
   std::vector<char> ok(n, 1);
-  for (NodeId v = 0; v < n; ++v) {
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
     const auto& ord = rot.order_at(v);
     const int deg = static_cast<int>(ord.size());
-    if (deg == 0) continue;
+    if (deg == 0) return;
     // Corner decomposition: walk the rotation once; a corner starts at each
     // tree edge and collects the non-tree edges that follow it clockwise.
     // Find any tree-edge position to anchor the walk.
@@ -160,7 +161,7 @@ std::vector<char> corner_order_checks(const Graph& g, const RotationSystem& rot,
         break;
       }
     }
-    if (anchor == -1) continue;  // isolated from the tree: other checks reject
+    if (anchor == -1) return;  // isolated from the tree: other checks reject
     // First tree edge counterclockwise of `edge` at node w (the corner rule).
     auto attach = [&](NodeId w, EdgeId edge) {
       const auto& ow = rot.order_at(w);
@@ -208,7 +209,7 @@ std::vector<char> corner_order_checks(const Graph& g, const RotationSystem& rot,
       const long long xu = path_pos[copy_for(u, tu)];
       keys.push_back(((xu - xv) % total + total) % total);
     }
-  }
+  });
   return ok;
 }
 

@@ -94,15 +94,16 @@ StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& clai
   out.node_bits.assign(n, 2 * k);  // X value + nonce copy
   out.coin_bits = std::move(coin_bits);
   out.rounds = 3;
-  for (NodeId v = 0; v < n; ++v) {
+  out.node_accepts = decide_nodes(n, [&](NodeId v) {
     std::uint64_t acc = rho[v];
     for (NodeId c : children[v]) acc ^= x[c];
-    if (x[v] != acc) out.node_accepts[v] = 0;
-    if (claimed_parent[v] == -1 && echoed != nonce[v]) out.node_accepts[v] = 0;
+    if (x[v] != acc) return false;
+    if (claimed_parent[v] == -1 && echoed != nonce[v]) return false;
     // Nonce echoes are identical by construction (the prover sends one value);
     // a prover sending different values would be caught by this check:
     // neighbors compare copies — omitted arithmetic since copies are equal.
-  }
+    return true;
+  });
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "protocols/stage.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
@@ -57,6 +58,7 @@ Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& 
   // --- Round 0 (prover): the structural commitment (root flags).
   for (NodeId v = 0; v < n; ++v) {
     Label l;
+    l.reserve(1);
     l.put_flag(claimed_parent[v] == -1);
     labels.assign_node(L::kRoundStructure, v, std::move(l));
   }
@@ -121,16 +123,18 @@ Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& 
   const std::uint64_t echoed = first_root == -1 ? 0 : nonce[first_root];
   for (NodeId v = 0; v < n; ++v) {
     Label l;
+    l.reserve(2);
     l.put(x[v], k).put(echoed, k);
     labels.assign_node(L::kRoundResponse, v, std::move(l));
   }
 
-  // --- Decision through NodeViews only.
-  bool all = true;
-  for (NodeId v = 0; v < n; ++v) {
+  // --- Decision through NodeViews only (one per node, in parallel).
+  const std::vector<char> accepts = decide_nodes(n, [&](NodeId v) {
     const NodeView view(labels, coins, v);
-    if (!st_labeled_node_decision(view, claimed_parent[v], children[v])) all = false;
-  }
+    return st_labeled_node_decision(view, claimed_parent[v], children[v]);
+  });
+  bool all = true;
+  for (char a : accepts) all = all && a;
 
   Outcome o;
   o.accepted = all;

@@ -8,8 +8,10 @@
 // and takes the max round count.
 #pragma once
 
+#include <utility>
 #include <vector>
 
+#include "dip/parallel.hpp"
 #include "dip/store.hpp"
 #include "graph/graph.hpp"
 
@@ -43,5 +45,20 @@ Outcome finalize(const StageResult& s);
 /// accept flags (for stages implemented directly on the stores).
 StageResult stage_from_stores(const LabelStore& labels, const CoinStore& coins,
                               std::vector<char> accepts, int rounds);
+
+/// Runs the per-node decision predicate for all n nodes on the parallel
+/// executor and collects the accept flags. `decide(v)` must follow the
+/// determinism contract of dip/parallel.hpp: it may read anything written
+/// before this call but only decide node v — the result is then independent
+/// of the thread count.
+template <typename F>
+std::vector<char> decide_nodes(int n, F&& decide) {
+  std::vector<char> accepts(static_cast<std::size_t>(n), 1);
+  auto fn = std::forward<F>(decide);
+  parallel_for(n, [&](std::int64_t v) {
+    if (!fn(static_cast<NodeId>(v))) accepts[static_cast<std::size_t>(v)] = 0;
+  });
+  return accepts;
+}
 
 }  // namespace lrdip

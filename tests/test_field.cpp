@@ -83,6 +83,52 @@ TEST(Fp, MultisetPolySeparatesMultisets) {
   EXPECT_LE(collisions, 2);
 }
 
+TEST(Fp, BarrettMatchesNaiveReductionExhaustively) {
+  // Exhaustive product cross-check for every small prime: the Barrett path
+  // must agree with the hardware-divide reference on all of F_p x F_p.
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 31ULL, 61ULL, 127ULL,
+                          251ULL, 257ULL}) {
+    Fp f(p);
+    ASSERT_TRUE(f.barrett_enabled());
+    for (std::uint64_t a = 0; a < p; ++a) {
+      for (std::uint64_t b = 0; b < p; ++b) {
+        ASSERT_EQ(f.mul(a, b), a * b % p) << "p=" << p << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Fp, BarrettReduceMatchesNaiveOnFullRange) {
+  // reduce() accepts any 64-bit input; stress the whole range, including the
+  // wrap-around extremes, against %.
+  Rng rng(7);
+  for (std::uint64_t p :
+       {2ULL, 3ULL, 97ULL, 7919ULL, 65521ULL, 16777213ULL, 4294967291ULL /* largest p < 2^32 */}) {
+    Fp f(p);
+    ASSERT_TRUE(f.barrett_enabled());
+    for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{1}, p - 1, p, p + 1, 2 * p,
+                            ~std::uint64_t{0}, ~std::uint64_t{0} - 1, std::uint64_t{1} << 63}) {
+      ASSERT_EQ(f.reduce(x), x % p) << "p=" << p << " x=" << x;
+    }
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t x = rng.next_u64();
+      ASSERT_EQ(f.reduce(x), x % p) << "p=" << p << " x=" << x;
+    }
+  }
+}
+
+TEST(Fp, LargeModulusFallsBackToDivide) {
+  Fp f((1ULL << 61) - 1);
+  EXPECT_FALSE(f.barrett_enabled());
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.uniform(f.modulus());
+    const std::uint64_t b = rng.uniform(f.modulus());
+    EXPECT_EQ(f.mul(a, b),
+              static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % f.modulus()));
+  }
+}
+
 TEST(Fp, MultisetPolyOrderInvariant) {
   Fp f(997);
   const std::vector<std::uint64_t> a{9, 1, 500, 500};

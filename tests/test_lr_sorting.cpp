@@ -14,15 +14,7 @@ LrSortingInstance to_protocol_instance(const LrInstance& gen_inst) {
   LrSortingInstance inst;
   inst.graph = &gen_inst.graph;
   inst.order = gen_inst.order;
-  inst.tail.resize(gen_inst.graph.m());
-  std::vector<int> pos(gen_inst.graph.n());
-  for (int i = 0; i < gen_inst.graph.n(); ++i) pos[gen_inst.order[i]] = i;
-  for (EdgeId e = 0; e < gen_inst.graph.m(); ++e) {
-    const auto [u, v] = gen_inst.graph.endpoints(e);
-    const NodeId earlier = pos[u] < pos[v] ? u : v;
-    const NodeId later = pos[u] < pos[v] ? v : u;
-    inst.tail[e] = gen_inst.forward[e] ? earlier : later;
-  }
+  inst.tail = lr_claimed_tails(gen_inst);
   return inst;
 }
 

@@ -27,14 +27,7 @@ LrSortingInstance make_lr(const LrInstance& gi) {
   LrSortingInstance inst;
   inst.graph = &gi.graph;
   inst.order = gi.order;
-  inst.tail.resize(gi.graph.m());
-  std::vector<int> pos(gi.graph.n());
-  for (int i = 0; i < gi.graph.n(); ++i) pos[gi.order[i]] = i;
-  for (EdgeId e = 0; e < gi.graph.m(); ++e) {
-    const auto [u, v] = gi.graph.endpoints(e);
-    const NodeId early = pos[u] < pos[v] ? u : v;
-    inst.tail[e] = gi.forward[e] ? early : gi.graph.other_end(e, early);
-  }
+  inst.tail = lr_claimed_tails(gi);
   return inst;
 }
 
