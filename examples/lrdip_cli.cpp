@@ -1,7 +1,9 @@
 // lrdip: command-line front end to the protocol suite.
 //
-//   lrdip <task> <graph-file> [--seed S] [--c C] [--trials T] [--baseline]
+//   lrdip <task> <graph-file> [--seed S] [--c C] [--trials T]
 //   lrdip gen <family> <n> <out-file> [--seed S]
+//   lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]
+//         [--models m1,m2,...] [--seed S] [--c C] [--trials T]
 //
 // Tasks: lr-sorting | path-outerplanar | outerplanar | embedding | planarity
 //        | series-parallel | treewidth2
@@ -10,10 +12,16 @@
 //
 // Graph files use the src/graph/io.hpp format; the optional sections carry
 // the prover certificates (order / rotation / tails) where available.
+//
+// Every rejection or error prints the effective seed and a one-line repro
+// command, so a flaky run in a larger harness can be replayed exactly.
+#include <array>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "dip/faults.hpp"
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
 #include "protocols/lr_sorting.hpp"
@@ -32,10 +40,14 @@ int usage() {
       "usage:\n"
       "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T]\n"
       "  lrdip gen <family> <n> <out-file> [--seed S]\n"
+      "  lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]\n"
+      "        [--models m1,m2,...] [--seed S] [--c C] [--trials T]\n"
       "tasks:    lr-sorting path-outerplanar outerplanar embedding planarity\n"
       "          series-parallel treewidth2\n"
       "families: path-outerplanar outerplanar planar series-parallel\n"
-      "          treewidth2 lr-yes lr-no\n";
+      "          treewidth2 lr-yes lr-no\n"
+      "models:   bit_flip width_corrupt field_drop field_append label_drop\n"
+      "          label_swap stale_replay coin_flip (default: all)\n";
   return 2;
 }
 
@@ -43,7 +55,26 @@ struct Options {
   std::uint64_t seed = 1;
   int c = 3;
   int trials = 1;
+  // faults subcommand only:
+  double rate = 0.25;
+  std::uint64_t fault_seed = 1;
+  std::uint32_t models = kAllFaultModels;
+  std::string models_arg = "all";
 };
+
+std::uint32_t parse_models(const std::string& spec) {
+  if (spec == "all") return kAllFaultModels;
+  std::uint32_t mask = 0;
+  std::stringstream ss(spec);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    const auto m = fault_model_from_name(name);
+    LRDIP_CHECK_MSG(m.has_value(), "unknown fault model: " + name);
+    mask |= fault_bit(*m);
+  }
+  LRDIP_CHECK_MSG(mask != 0, "empty fault model list");
+  return mask;
+}
 
 Options parse_options(int argc, char** argv, int from) {
   Options opt;
@@ -59,6 +90,13 @@ Options parse_options(int argc, char** argv, int from) {
       opt.c = std::stoi(next());
     } else if (a == "--trials") {
       opt.trials = std::stoi(next());
+    } else if (a == "--rate") {
+      opt.rate = std::stod(next());
+    } else if (a == "--fault-seed") {
+      opt.fault_seed = std::stoull(next());
+    } else if (a == "--models") {
+      opt.models_arg = next();
+      opt.models = parse_models(opt.models_arg);
     } else {
       throw InvariantError("unknown option: " + a);
     }
@@ -69,8 +107,56 @@ Options parse_options(int argc, char** argv, int from) {
 void report(const std::string& task, const Outcome& o) {
   std::cout << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED")
             << "  rounds=" << o.rounds << "  proof_bits=" << o.proof_size_bits
-            << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits
-            << "\n";
+            << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits;
+  if (!o.accepted) {
+    std::cout << "  reject_reason=" << reject_reason_name(o.reject_reason)
+              << "  rejected_nodes=" << o.rejected_nodes;
+  }
+  std::cout << "\n";
+}
+
+std::string repro_line(const std::string& sub, const std::string& task, const std::string& path,
+                       const Options& opt) {
+  std::ostringstream cmd;
+  cmd << "lrdip ";
+  if (!sub.empty()) cmd << sub << " ";
+  cmd << task << " " << path << " --seed " << opt.seed << " --c " << opt.c;
+  if (opt.trials != 1) cmd << " --trials " << opt.trials;
+  if (sub == "faults") {
+    cmd << " --rate " << opt.rate << " --fault-seed " << opt.fault_seed << " --models "
+        << opt.models_arg;
+  }
+  return cmd.str();
+}
+
+Outcome run_once(const std::string& task, const GraphFile& gf, const Options& opt, Rng& rng,
+                 FaultInjector* faults) {
+  if (task == "lr-sorting") {
+    LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
+    LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
+    LrSortingInstance inst{&gf.graph, *gf.order, *gf.tails, {}};
+    return run_lr_sorting(inst, {opt.c}, rng, nullptr, faults);
+  }
+  if (task == "path-outerplanar") {
+    return run_path_outerplanarity({&gf.graph, gf.order}, {opt.c}, rng, faults);
+  }
+  if (task == "outerplanar") {
+    return run_outerplanarity({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
+  }
+  if (task == "embedding") {
+    LRDIP_CHECK_MSG(gf.rotation.has_value(), "embedding needs a 'rotation' section");
+    return run_planar_embedding({&gf.graph, &*gf.rotation}, {opt.c}, rng, faults);
+  }
+  if (task == "planarity") {
+    return run_planarity({&gf.graph, gf.rotation ? &*gf.rotation : nullptr}, {opt.c}, rng, faults);
+  }
+  if (task == "series-parallel") {
+    return run_series_parallel({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
+  }
+  if (task == "treewidth2") {
+    return run_treewidth2({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
+  }
+  throw InvariantError("unknown task: " + task);
 }
 
 int run_task(const std::string& task, const std::string& path, const Options& opt) {
@@ -79,27 +165,7 @@ int run_task(const std::string& task, const std::string& path, const Options& op
   int accepted = 0;
   Outcome last;
   for (int t = 0; t < opt.trials; ++t) {
-    if (task == "lr-sorting") {
-      LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
-      LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
-      LrSortingInstance inst{&gf.graph, *gf.order, *gf.tails};
-      last = run_lr_sorting(inst, {opt.c}, rng);
-    } else if (task == "path-outerplanar") {
-      last = run_path_outerplanarity({&gf.graph, gf.order}, {opt.c}, rng);
-    } else if (task == "outerplanar") {
-      last = run_outerplanarity({&gf.graph, std::nullopt}, {opt.c}, rng);
-    } else if (task == "embedding") {
-      LRDIP_CHECK_MSG(gf.rotation.has_value(), "embedding needs a 'rotation' section");
-      last = run_planar_embedding({&gf.graph, &*gf.rotation}, {opt.c}, rng);
-    } else if (task == "planarity") {
-      last = run_planarity({&gf.graph, gf.rotation ? &*gf.rotation : nullptr}, {opt.c}, rng);
-    } else if (task == "series-parallel") {
-      last = run_series_parallel({&gf.graph, std::nullopt}, {opt.c}, rng);
-    } else if (task == "treewidth2") {
-      last = run_treewidth2({&gf.graph, std::nullopt}, {opt.c}, rng);
-    } else {
-      return usage();
-    }
+    last = run_once(task, gf, opt, rng, nullptr);
     accepted += last.accepted ? 1 : 0;
   }
   report(task, last);
@@ -107,7 +173,45 @@ int run_task(const std::string& task, const std::string& path, const Options& op
     std::cout << "acceptance over " << opt.trials << " independent runs: " << accepted << "/"
               << opt.trials << "\n";
   }
+  if (!last.accepted) {
+    std::cout << "seed=" << opt.seed << "\n";
+    std::cout << "repro: " << repro_line("", task, path, opt) << "\n";
+  }
   return last.accepted ? 0 : 1;
+}
+
+int run_faults(const std::string& task, const std::string& path, const Options& opt) {
+  const GraphFile gf = read_graph_file(path);
+  Rng rng(opt.seed);
+  int rejected = 0;
+  Outcome last;
+  std::array<std::int64_t, kNumFaultModels> counts{};
+  std::int64_t total_faults = 0;
+  for (int t = 0; t < opt.trials; ++t) {
+    FaultInjector inj({opt.fault_seed + static_cast<std::uint64_t>(t), opt.rate, opt.models});
+    last = run_once(task, gf, opt, rng, &inj);
+    rejected += last.accepted ? 0 : 1;
+    for (int m = 0; m < kNumFaultModels; ++m) {
+      counts[m] += inj.count(static_cast<FaultModel>(m));
+    }
+    total_faults += inj.total_faults();
+  }
+  std::cout << "faults " << task << ": rate=" << opt.rate << " models=" << opt.models_arg
+            << " detected=" << rejected << "/" << opt.trials
+            << " injected=" << total_faults << "\n";
+  std::cout << "per-model injections:";
+  for (int m = 0; m < kNumFaultModels; ++m) {
+    if (counts[m] > 0) {
+      std::cout << " " << fault_model_name(static_cast<FaultModel>(m)) << "=" << counts[m];
+    }
+  }
+  std::cout << "\n";
+  report(task, last);
+  std::cout << "seed=" << opt.seed << " fault-seed=" << opt.fault_seed << "\n";
+  std::cout << "repro: " << repro_line("faults", task, path, opt) << "\n";
+  // Exit 0 iff no crash escaped (rejection is the *expected* outcome here);
+  // an exception would already have unwound to main's handler.
+  return 0;
 }
 
 int run_gen(const std::string& family, int n, const std::string& out, const Options& opt) {
@@ -160,9 +264,16 @@ int main(int argc, char** argv) {
       if (argc < 5) return usage();
       return run_gen(argv[2], std::stoi(argv[3]), argv[4], parse_options(argc, argv, 5));
     }
+    if (cmd == "faults") {
+      if (argc < 4) return usage();
+      return run_faults(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
     return run_task(cmd, argv[2], parse_options(argc, argv, 3));
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
+    std::cerr << "repro:";
+    for (int i = 0; i < argc; ++i) std::cerr << " " << argv[i];
+    std::cerr << "\n";
     return 2;
   }
 }

@@ -1,0 +1,147 @@
+#include "dip/faults.hpp"
+
+#include <utility>
+
+namespace lrdip {
+
+const char* fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::bit_flip: return "bit_flip";
+    case FaultModel::width_corrupt: return "width_corrupt";
+    case FaultModel::field_drop: return "field_drop";
+    case FaultModel::field_append: return "field_append";
+    case FaultModel::label_drop: return "label_drop";
+    case FaultModel::label_swap: return "label_swap";
+    case FaultModel::stale_replay: return "stale_replay";
+    case FaultModel::coin_flip: return "coin_flip";
+  }
+  return "unknown";
+}
+
+std::optional<FaultModel> fault_model_from_name(std::string_view name) {
+  for (int i = 0; i < kNumFaultModels; ++i) {
+    const FaultModel m = static_cast<FaultModel>(i);
+    if (name == fault_model_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::hit() {
+  if (plan_.rate >= 1.0) return true;
+  if (plan_.rate <= 0.0) return false;
+  constexpr std::uint64_t kScale = std::uint64_t{1} << 30;
+  return rng_.uniform(kScale) < static_cast<std::uint64_t>(plan_.rate * static_cast<double>(kScale));
+}
+
+void FaultInjector::apply_label_fault(FaultModel m, Label& l, Rng& r) {
+  switch (m) {
+    case FaultModel::bit_flip: {
+      const std::size_t f = r.uniform(l.num_fields());
+      int b = l.field_bits(f);
+      if (b < 1 || b > 64) b = 64;  // width already corrupt: flip anywhere
+      l.forge_value(f, l.get(f) ^ (std::uint64_t{1} << r.uniform(static_cast<std::uint64_t>(b))));
+      break;
+    }
+    case FaultModel::width_corrupt: {
+      const std::size_t f = r.uniform(l.num_fields());
+      const int orig = l.field_bits(f);
+      int nb = static_cast<int>(1 + r.uniform(64));
+      if (nb == orig) nb = (orig % 64) + 1;
+      l.forge_width(f, static_cast<std::uint8_t>(nb));
+      break;
+    }
+    case FaultModel::field_drop:
+      l.forge_erase(r.uniform(l.num_fields()));
+      break;
+    case FaultModel::field_append:
+      l.forge_append(r.next_u64(), static_cast<std::uint8_t>(1 + r.uniform(64)));
+      break;
+    case FaultModel::label_drop:
+      l.clear();
+      break;
+    case FaultModel::label_swap:
+    case FaultModel::stale_replay:
+    case FaultModel::coin_flip:
+      // Handled by the store-level walk (they need a partner element).
+      break;
+  }
+}
+
+void FaultInjector::corrupt(LabelStore& labels) {
+  const std::uint32_t enabled = plan_.models & kLabelFaultModels;
+  if (enabled == 0) return;
+  const Graph& g = labels.graph();
+  const int rounds = labels.rounds();
+  const int n = g.n();
+  const int m = g.m();
+
+  // Picks a model uniformly among enabled ones applicable to this element:
+  // field_append needs headroom, label_swap a partner, stale_replay a past
+  // round. Returns false when nothing applies (then the element is skipped
+  // and nothing is counted).
+  const auto choose = [&](const Label& l, int peers, std::optional<FaultModel>& out) {
+    FaultModel applicable[kNumFaultModels];
+    int count = 0;
+    for (int i = 0; i < kNumFaultModels; ++i) {
+      const FaultModel fm = static_cast<FaultModel>(i);
+      if (!(enabled & fault_bit(fm))) continue;
+      if (fm == FaultModel::field_append && l.num_fields() >= Label::kMaxFields) continue;
+      if (fm == FaultModel::label_swap && peers <= 1) continue;
+      if (fm == FaultModel::stale_replay && rounds <= 1) continue;
+      applicable[count++] = fm;
+    }
+    if (count == 0) return false;
+    out = applicable[rng_.uniform(static_cast<std::uint64_t>(count))];
+    return true;
+  };
+
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      Label& l = labels.mutable_node_label(r, v);
+      if (l.empty() || !hit()) continue;
+      std::optional<FaultModel> fm;
+      if (!choose(l, n, fm)) continue;
+      if (*fm == FaultModel::label_swap) {
+        const NodeId u = static_cast<NodeId>(
+            (v + 1 + rng_.uniform(static_cast<std::uint64_t>(n - 1))) % n);
+        std::swap(l, labels.mutable_node_label(r, u));
+      } else if (*fm == FaultModel::stale_replay) {
+        l = labels.node_label((r + rounds - 1) % rounds, v);
+      } else {
+        apply_label_fault(*fm, l, rng_);
+      }
+      ++counts_[static_cast<int>(*fm)];
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      if (labels.edge_label(r, e).empty()) continue;  // also avoids forcing the lazy slab
+      if (!hit()) continue;
+      Label& l = labels.mutable_edge_label(r, e);
+      std::optional<FaultModel> fm;
+      if (!choose(l, m, fm)) continue;
+      if (*fm == FaultModel::label_swap) {
+        const EdgeId e2 = static_cast<EdgeId>(
+            (e + 1 + rng_.uniform(static_cast<std::uint64_t>(m - 1))) % m);
+        std::swap(l, labels.mutable_edge_label(r, e2));
+      } else if (*fm == FaultModel::stale_replay) {
+        l = labels.edge_label((r + rounds - 1) % rounds, e);
+      } else {
+        apply_label_fault(*fm, l, rng_);
+      }
+      ++counts_[static_cast<int>(*fm)];
+    }
+  }
+}
+
+void FaultInjector::corrupt(CoinStore& coins) {
+  if (!(plan_.models & fault_bit(FaultModel::coin_flip))) return;
+  for (int r = 0; r < coins.rounds(); ++r) {
+    for (NodeId v = 0; v < coins.n(); ++v) {
+      const std::span<std::uint64_t> s = coins.mutable_coins(r, v);
+      if (s.empty() || !hit()) continue;
+      s[rng_.uniform(s.size())] ^= std::uint64_t{1} << rng_.uniform(64);
+      ++counts_[static_cast<int>(FaultModel::coin_flip)];
+    }
+  }
+}
+
+}  // namespace lrdip

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <cstring>
+#include <optional>
 
 #include "support/check.hpp"
 
@@ -54,6 +56,20 @@ class Label {
   }
   bool get_flag(std::size_t field) const { return get(field) != 0; }
 
+  /// Non-throwing checked read for prover-supplied labels. Returns nullopt
+  /// when the field is absent, its declared width is outside [1, 64], the
+  /// value escapes that width, or (with expected_bits >= 0) the declared
+  /// width differs from the protocol's. See dip/verdict.hpp for the variant
+  /// that also classifies *why* the read failed.
+  std::optional<std::uint64_t> try_get(std::size_t field, int expected_bits = -1) const noexcept {
+    if (field >= count_) return std::nullopt;
+    const int b = bits_[field];
+    if (b < 1 || b > 64) return std::nullopt;
+    if (expected_bits >= 0 && b != expected_bits) return std::nullopt;
+    if (b < 64 && (values_[field] >> b) != 0) return std::nullopt;
+    return values_[field];
+  }
+
   /// Declared width of a field, in bits.
   int field_bits(std::size_t field) const {
     LRDIP_CHECK_MSG(field < count_, "label field out of range");
@@ -64,7 +80,62 @@ class Label {
   bool empty() const { return count_ == 0; }
   int bit_size() const { return bit_size_; }
 
+  // --- Byzantine seam -------------------------------------------------------
+  // forge_* deliberately bypass put()'s invariants so the fault injector
+  // (dip/faults.hpp) can produce arbitrary wire content: out-of-width values,
+  // corrupted widths, truncated or over-long field lists. Honest provers
+  // never call these; bit accounting is charged at store-assignment time, so
+  // in-transit forging does not alter the honest cost model. All are no-throw.
+
+  /// Overwrites a field's value without width enforcement (no-op if absent).
+  void forge_value(std::size_t field, std::uint64_t value) noexcept {
+    if (field < count_) values_[field] = value;
+  }
+
+  /// Overwrites a field's declared width with a raw byte (no-op if absent).
+  void forge_width(std::size_t field, std::uint8_t bits) noexcept {
+    if (field >= count_) return;
+    bits_[field] = bits;
+    recompute_bit_size();
+  }
+
+  /// Appends a field without validation; silently drops once storage is full.
+  void forge_append(std::uint64_t value, std::uint8_t bits) noexcept {
+    if (count_ >= kMaxFields) return;
+    values_[count_] = value;
+    bits_[count_] = bits;
+    ++count_;
+    recompute_bit_size();
+  }
+
+  /// Removes one field, shifting later fields down (no-op if absent).
+  void forge_erase(std::size_t field) noexcept {
+    if (field >= count_) return;
+    for (std::size_t i = field + 1; i < count_; ++i) {
+      values_[i - 1] = values_[i];
+      bits_[i - 1] = bits_[i];
+    }
+    --count_;
+    values_[count_] = 0;
+    bits_[count_] = 0;
+    recompute_bit_size();
+  }
+
+  /// Erases every field (the "whole label dropped in transit" fault).
+  void clear() noexcept {
+    std::memset(values_, 0, sizeof(values_));
+    std::memset(bits_, 0, sizeof(bits_));
+    count_ = 0;
+    bit_size_ = 0;
+  }
+
  private:
+  void recompute_bit_size() noexcept {
+    int total = 0;
+    for (std::size_t i = 0; i < count_; ++i) total += bits_[i];
+    bit_size_ = static_cast<std::uint16_t>(total);
+  }
+
   std::uint64_t values_[kMaxFields] = {};
   std::uint8_t bits_[kMaxFields] = {};
   std::uint8_t count_ = 0;

@@ -14,8 +14,12 @@ LabelStore::LabelStore(const Graph& g, int rounds)
       m_(static_cast<std::size_t>(g.m())) {
   LRDIP_CHECK(rounds >= 1);
   node_slab_ = arena_.allocate(static_cast<std::size_t>(rounds) * n_);
-  edge_slab_ = arena_.allocate(static_cast<std::size_t>(rounds) * m_);
   charged_bits_.assign(g.n(), 0);
+}
+
+const Label& LabelStore::empty_label() {
+  static const Label kEmpty{};
+  return kEmpty;
 }
 
 void LabelStore::assign_node(int round, NodeId v, Label label) {
@@ -31,6 +35,7 @@ void LabelStore::assign_edge(int round, EdgeId e, Label label, NodeId accountabl
   const auto [a, b] = g_->endpoints(e);
   LRDIP_CHECK_MSG(accountable == a || accountable == b,
                   "edge label must be charged to one of its endpoints");
+  ensure_edge_slab();
   Label& slot = edge_slab_[static_cast<std::size_t>(round) * m_ + e];
   LRDIP_CHECK_MSG(slot.empty(), "edge label already assigned this round");
   charged_bits_[accountable] += label.bit_size();
@@ -56,9 +61,7 @@ CoinStore::CoinStore(const Graph& g, int rounds)
   coin_bits_.assign(g.n(), 0);
 }
 
-std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
-                                               std::uint64_t bound, int bits_each,
-                                               Rng& rng) {
+CoinStore::Slot& CoinStore::open_slot(int round, NodeId v) {
   LRDIP_CHECK(round >= 0 && round < rounds_);
   Slot& s = slots_[static_cast<std::size_t>(round) * n_ + v];
   const std::size_t tail = data_.size();
@@ -71,10 +74,28 @@ std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
     for (std::uint32_t i = 0; i < s.len; ++i) data_.push_back(data_[s.offset + i]);
     s.offset = static_cast<std::uint32_t>(tail);
   }
+  return s;
+}
+
+std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
+                                               std::uint64_t bound, int bits_each,
+                                               Rng& rng) {
+  Slot& s = open_slot(round, v);
   for (int i = 0; i < count; ++i) data_.push_back(rng.uniform(bound));
   s.len += static_cast<std::uint32_t>(count);
   LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
   coin_bits_[v] += count * bits_each;
+  return {data_.data() + s.offset, s.len};
+}
+
+std::span<const std::uint64_t> CoinStore::record(int round, NodeId v,
+                                                 std::span<const std::uint64_t> values,
+                                                 int bits_each) {
+  Slot& s = open_slot(round, v);
+  for (std::uint64_t w : values) data_.push_back(w);
+  s.len += static_cast<std::uint32_t>(values.size());
+  LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
+  coin_bits_[v] += static_cast<int>(values.size()) * bits_each;
   return {data_.data() + s.offset, s.len};
 }
 

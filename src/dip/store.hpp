@@ -23,6 +23,7 @@
 
 #include "dip/arena.hpp"
 #include "dip/label.hpp"
+#include "dip/verdict.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -38,6 +39,12 @@ struct Outcome {
   std::int64_t total_label_bits = 0;
   /// Max over nodes of public-coin bits drawn.
   int max_coin_bits = 0;
+  /// Dominant reason among rejecting nodes (none when accepted): the most
+  /// frequent non-none per-node reason, ties broken toward the more
+  /// structural defect. Lets callers report *why* a run rejected.
+  RejectReason reject_reason = RejectReason::none;
+  /// How many nodes rejected locally.
+  int rejected_nodes = 0;
 };
 
 class LabelStore {
@@ -53,11 +60,26 @@ class LabelStore {
   }
   const Label& edge_label(int round, EdgeId e) const {
     LRDIP_CHECK(round >= 0 && round < rounds_);
+    if (edge_slab_.empty()) return empty_label();
     return edge_slab_[static_cast<std::size_t>(round) * m_ + e];
   }
 
   int rounds() const { return rounds_; }
   const Graph& graph() const { return *g_; }
+
+  // Byzantine seam: mutable access to recorded labels so a fault injector can
+  // corrupt the transcript *between* prover and verifier. Bit accounting was
+  // charged at assignment time and is deliberately left untouched — the
+  // honest cost model describes what the prover sent, not what arrived.
+  Label& mutable_node_label(int round, NodeId v) {
+    LRDIP_CHECK(round >= 0 && round < rounds_);
+    return node_slab_[static_cast<std::size_t>(round) * n_ + v];
+  }
+  Label& mutable_edge_label(int round, EdgeId e) {
+    LRDIP_CHECK(round >= 0 && round < rounds_);
+    ensure_edge_slab();
+    return edge_slab_[static_cast<std::size_t>(round) * m_ + e];
+  }
 
   /// Max over nodes of charged bits.
   int proof_size_bits() const;
@@ -66,12 +88,22 @@ class LabelStore {
   const std::vector<int>& charged_bits() const { return charged_bits_; }
 
  private:
+  static const Label& empty_label();
+  /// The edge slab is allocated on first edge-label use: most protocol
+  /// stages only label nodes, and at benchmark scale a never-touched
+  /// rounds * m slab is real memory and memset time.
+  void ensure_edge_slab() {
+    if (edge_slab_.empty() && m_ > 0) {
+      edge_slab_ = arena_.allocate(static_cast<std::size_t>(rounds_) * m_);
+    }
+  }
+
   const Graph* g_;
   int rounds_;
   std::size_t n_, m_;
   LabelArena arena_;
   std::span<Label> node_slab_;    // [round * n + v]
-  std::span<Label> edge_slab_;    // [round * m + e]
+  std::span<Label> edge_slab_;    // [round * m + e], lazily allocated
   std::vector<int> charged_bits_;  // [node]
 };
 
@@ -85,12 +117,29 @@ class CoinStore {
   std::span<const std::uint64_t> draw(int round, NodeId v, int count,
                                       std::uint64_t bound, int bits_each, Rng& rng);
 
+  /// Records coins that were drawn outside the store (protocols that predate
+  /// the store substrate keep their exact historical rng streams and mirror
+  /// the values here so the fault injector has a seam). Accounting matches
+  /// draw(): `bits_each` honest bits per coin.
+  std::span<const std::uint64_t> record(int round, NodeId v,
+                                        std::span<const std::uint64_t> values, int bits_each);
+
   std::span<const std::uint64_t> coins(int round, NodeId v) const {
     const Slot& s = slot(round, v);
     return {data_.data() + s.offset, s.len};
   }
   int max_coin_bits() const;
   const std::vector<int>& coin_bits() const { return coin_bits_; }
+
+  int rounds() const { return rounds_; }
+  int n() const { return static_cast<int>(n_); }
+
+  /// Byzantine seam: mutable view of a recorded slot (values only — the
+  /// injector may corrupt coin words but never reshapes slots).
+  std::span<std::uint64_t> mutable_coins(int round, NodeId v) {
+    const Slot& s = slot(round, v);
+    return {data_.data() + s.offset, s.len};
+  }
 
  private:
   struct Slot {
@@ -101,6 +150,9 @@ class CoinStore {
     LRDIP_CHECK(round >= 0 && round < rounds_);
     return slots_[static_cast<std::size_t>(round) * n_ + v];
   }
+  /// Positions a slot at the slab tail (relocating if needed) so an append
+  /// keeps it contiguous. Shared by draw() and record().
+  Slot& open_slot(int round, NodeId v);
 
   int rounds_;
   std::size_t n_;
@@ -125,6 +177,28 @@ class NodeView {
   const Label& of_neighbor(int round, NodeId u) const;
   const Label& of_edge(int round, EdgeId e) const;
   std::span<const std::uint64_t> own_coins(int round) const { return coins_->coins(round, v_); }
+
+  // Checked reads for hardened decision loops (see dip/verdict.hpp): any
+  // structural defect records a RejectReason instead of throwing. Locality
+  // violations (reading a non-neighbor) still throw — that is verifier-code
+  // misuse, not prover behavior.
+  std::uint64_t read_own(int round, std::size_t field, int expected_bits,
+                         LocalVerdict& verdict, std::uint64_t fallback = 0) const {
+    return read_or_reject(own(round), field, expected_bits, verdict, fallback);
+  }
+  std::uint64_t read_neighbor(int round, NodeId u, std::size_t field, int expected_bits,
+                              LocalVerdict& verdict, std::uint64_t fallback = 0) const {
+    return read_or_reject(of_neighbor(round, u), field, expected_bits, verdict, fallback);
+  }
+  std::uint64_t read_coin(int round, std::size_t index, LocalVerdict& verdict,
+                          std::uint64_t fallback = 0) const {
+    const auto c = own_coins(round);
+    if (index >= c.size()) {
+      verdict.reject(RejectReason::missing_label);
+      return fallback;
+    }
+    return c[index];
+  }
 
  private:
   const LabelStore* labels_;

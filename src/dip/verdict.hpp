@@ -1,0 +1,113 @@
+// Reject-reason taxonomy and checked label reads.
+//
+// The soundness experiment quantifies over *arbitrary* cheating provers, so a
+// verifier must treat every structural defect of a transcript — a missing
+// label, a field with the wrong declared width, a value escaping its width, a
+// truncated field list — as a local reject verdict, never as an exception.
+// LocalVerdict accumulates the worst defect a node's decision code observed;
+// read_or_reject / expect_fields are the only accessors hardened decision
+// loops use on prover-supplied labels. LRDIP_CHECK-style throws remain
+// reserved for caller misuse on the honest path (bad round index, reading a
+// non-neighbor): those are library-contract violations, not prover behavior.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "dip/label.hpp"
+
+namespace lrdip {
+
+/// Why a node rejected. Ordered by diagnostic severity: when a node trips
+/// several defects, the numerically largest one is reported (a structurally
+/// broken label necessarily also fails semantic checks, so structural reasons
+/// dominate check_failed).
+enum class RejectReason : std::uint8_t {
+  none = 0,             ///< the node accepted
+  check_failed = 1,     ///< labels well-formed, a protocol predicate failed
+  malformed_label = 2,  ///< field missing/extra, or a value escaping its width
+  width_mismatch = 3,   ///< field present but declared width != protocol width
+  missing_label = 4,    ///< an expected label (or coin slot) is absent
+};
+
+inline constexpr const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::none: return "none";
+    case RejectReason::check_failed: return "check_failed";
+    case RejectReason::malformed_label: return "malformed_label";
+    case RejectReason::width_mismatch: return "width_mismatch";
+    case RejectReason::missing_label: return "missing_label";
+  }
+  return "unknown";
+}
+
+/// Severity merge: the worse (more structural) reason wins.
+inline constexpr RejectReason worse_reason(RejectReason a, RejectReason b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+/// Per-node reject accumulator threaded through checked-read decision code.
+/// Reads keep going after the first defect (decoded fallbacks are benign
+/// in-range values), so one pass classifies the whole label set.
+class LocalVerdict {
+ public:
+  void reject(RejectReason r) { reason_ = worse_reason(reason_, r); }
+
+  /// Records check_failed when `ok` is false; returns `ok` for chaining.
+  bool require(bool ok) {
+    if (!ok) reject(RejectReason::check_failed);
+    return ok;
+  }
+
+  bool rejected() const { return reason_ != RejectReason::none; }
+  bool accepted() const { return reason_ == RejectReason::none; }
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_ = RejectReason::none;
+};
+
+/// Checked positional read with width enforcement. Never throws: on any
+/// defect it records the precise reason in `verdict` and returns `fallback`
+/// (callers pick a fallback that keeps downstream arithmetic in range; the
+/// node is already rejected, so the value only needs to be harmless).
+/// Pass expected_bits < 0 to accept any declared width in [1, 64].
+inline std::uint64_t read_or_reject(const Label& l, std::size_t field, int expected_bits,
+                                    LocalVerdict& verdict, std::uint64_t fallback = 0) {
+  if (l.empty()) {
+    verdict.reject(RejectReason::missing_label);
+    return fallback;
+  }
+  if (field >= l.num_fields()) {
+    verdict.reject(RejectReason::malformed_label);
+    return fallback;
+  }
+  const int b = l.field_bits(field);
+  if (expected_bits >= 0 && b != expected_bits) {
+    verdict.reject(RejectReason::width_mismatch);
+    return fallback;
+  }
+  const std::uint64_t value = l.get(field);
+  if (b < 1 || b > 64 || (b < 64 && (value >> b) != 0)) {
+    verdict.reject(RejectReason::malformed_label);
+    return fallback;
+  }
+  return value;
+}
+
+/// Checked flag read (width-1 field).
+inline bool flag_or_reject(const Label& l, std::size_t field, LocalVerdict& verdict,
+                           bool fallback = false) {
+  return read_or_reject(l, field, 1, verdict, fallback ? 1 : 0) != 0;
+}
+
+/// Enforces the exact field count the protocol round prescribes, so dropped
+/// or appended fields are detected even when each surviving field decodes.
+/// Returns true iff the count matches.
+inline bool expect_fields(const Label& l, std::size_t count, LocalVerdict& verdict) {
+  if (l.num_fields() == count) return true;
+  verdict.reject(l.empty() ? RejectReason::missing_label : RejectReason::malformed_label);
+  return false;
+}
+
+}  // namespace lrdip

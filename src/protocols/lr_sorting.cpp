@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "dip/faults.hpp"
 #include "field/fp.hpp"
 #include "field/primes.hpp"
 #include "graph/degeneracy.hpp"
@@ -16,6 +17,26 @@ namespace {
 /// Constant per-node framing for the Lemma 2.4 edge-label simulation: the
 /// forest codes (Lemma 2.3) for <= 5 parent-forests at 7 bits each.
 constexpr int kEdgeSimFramingBits = 35;
+
+// Store layout of the decision-relevant transcript. Two store rounds cover
+// the five interaction rounds: round 0 carries the R1/R3 per-node block
+// fields and the per-edge commitments, round 1 the R5 aggregation chains.
+// (The round split is bookkeeping for the wire; the protocol's round count
+// stays kLrSortingRounds in the analytic accounting.)
+constexpr int kRoundBlock = 0;
+constexpr int kRoundChains = 1;
+constexpr std::size_t kFIdx = 0;   // in-block index (idx_bits)
+constexpr std::size_t kFX1 = 1;    // x1 bit
+constexpr std::size_t kFX2 = 2;    // x2 bit
+constexpr std::size_t kFRel = 3;   // relation to v_b (2 bits)
+constexpr std::size_t kFMult = 4;  // multiplicity M_v (mult_bits)
+constexpr std::size_t kFPfx = 5;   // prefix evaluation P_v at r' (fbits)
+constexpr std::size_t kNodeBlockFields = 6;
+constexpr std::size_t kFQ1 = 0, kFR1 = 1, kFQ0 = 2, kFR0 = 3;  // f2bits each
+constexpr std::size_t kChainFields = 4;
+constexpr std::size_t kFKind = 0;  // edge: 0 = inner, 1 = outer
+constexpr std::size_t kFDist = 1;  // outer edge: distinguishing index (dist_bits)
+constexpr std::size_t kFJ = 2;     // outer edge: claimed phi prefix value (fbits)
 
 struct PathLocal {
   std::vector<int> pos;        // position of node on the path
@@ -46,35 +67,127 @@ PathLocal path_locals(const LrSortingInstance& inst) {
 }
 
 /// Trivial one-round protocol for paths too short for the block machinery,
-/// and the O(log n) PLS baseline: label every node with its position.
-StageResult trivial_position_protocol(const LrSortingInstance& inst) {
+/// and the O(log n) PLS baseline: label every node with its position. The
+/// labels go through a store so the fault seam covers the degenerate path
+/// too, and the +-1 chain checks the preamble alludes to are explicit — the
+/// decision runs on decoded positions, not the ground truth.
+StageResult trivial_position_protocol(const LrSortingInstance& inst, FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   const PathLocal pl = path_locals(inst);
   const int bits = bits_for_values(static_cast<std::uint64_t>(n));
+  LabelStore labels(g, /*rounds=*/1);
+  CoinStore coins(g, /*rounds=*/1);
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.reserve(1);
+    l.put(static_cast<std::uint64_t>(pl.pos[v]), bits);
+    labels.assign_node(0, v, std::move(l));
+  }
+  if (faults != nullptr) faults->corrupt(labels, coins);
+
+  std::vector<std::int64_t> pos_d(n, 0);
+  std::vector<RejectReason> defect(n, RejectReason::none);
+  for (NodeId v = 0; v < n; ++v) {
+    LocalVerdict verdict;
+    const Label& l = labels.node_label(0, v);
+    expect_fields(l, 1, verdict);
+    pos_d[v] = static_cast<std::int64_t>(read_or_reject(l, 0, bits, verdict, 0));
+    defect[v] = verdict.reason();
+  }
+
   StageResult out;
-  out.node_accepts.assign(n, 1);
   out.node_bits.assign(n, bits);
   out.coin_bits.assign(n, 0);
   out.rounds = 1;
-  // Positions are forced by the local +-1 checks, so the decision reduces to
-  // the direct comparison per edge.
+  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    verdict.reject(defect[v]);
+    // The +-1 chain pins positions to the ground truth up to a global shift.
+    if (pl.left[v] != -1) verdict.require(pos_d[pl.left[v]] + 1 == pos_d[v]);
+    if (pl.right[v] != -1) verdict.require(pos_d[v] + 1 == pos_d[pl.right[v]]);
+    return true;
+  });
+  out.node_accepts = accepts_from_reasons(out.node_reasons);
+  // The decision reduces to the direct comparison per non-path edge.
   for (EdgeId e = 0; e < g.m(); ++e) {
     if (pl.is_path_edge[e]) continue;
     const NodeId t = inst.tail[e];
     const NodeId h = g.other_end(e, t);
-    if (pl.pos[t] > pl.pos[h]) {
-      out.node_accepts[t] = 0;
-      out.node_accepts[h] = 0;
+    if (pos_d[t] > pos_d[h]) {
+      out.reject(t);
+      out.reject(h);
     }
   }
   return out;
 }
 
+using Commit = std::pair<int, std::uint64_t>;
+
+/// Per-node CSR of outer-edge commitments: one flat (index, j) array per side
+/// (C0 at the tail, C1 at the head) with per-node [offset, end) segments,
+/// deduped in place. Built once from the prover's arrays (feeds the honest
+/// multiplicities and chains) and — when a fault injector touched the wire —
+/// a second time from the decoded edge labels for the decision.
+struct CommitCsr {
+  std::vector<std::uint32_t> c0_off, c1_off, c0_end, c1_end;
+  std::vector<Commit> c0_data, c1_data;
+  const Commit* c0_begin(NodeId v) const { return c0_data.data() + c0_off[v]; }
+  const Commit* c0_stop(NodeId v) const { return c0_data.data() + c0_end[v]; }
+  const Commit* c1_begin(NodeId v) const { return c1_data.data() + c1_off[v]; }
+  const Commit* c1_stop(NodeId v) const { return c1_data.data() + c1_end[v]; }
+};
+
+/// Outer edges with an out-of-range distinguishing index are excluded here;
+/// the decision separately rejects their endpoints.
+CommitCsr build_commit_csr(const Graph& g, const std::vector<NodeId>& tail,
+                           const std::vector<char>& is_path_edge, int B,
+                           const std::vector<char>& kind, const std::vector<int>& dist,
+                           const std::vector<std::uint64_t>& jv) {
+  const int n = g.n();
+  CommitCsr csr;
+  csr.c0_off.assign(n + 1, 0);
+  csr.c1_off.assign(n + 1, 0);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (is_path_edge[e] || kind[e] != 1) continue;
+    if (dist[e] < 1 || dist[e] > B) continue;
+    ++csr.c0_off[tail[e] + 1];
+    ++csr.c1_off[g.other_end(e, tail[e]) + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    csr.c0_off[v + 1] += csr.c0_off[v];
+    csr.c1_off[v + 1] += csr.c1_off[v];
+  }
+  csr.c0_data.resize(csr.c0_off[n]);
+  csr.c1_data.resize(csr.c1_off[n]);
+  csr.c0_end.assign(csr.c0_off.begin(), csr.c0_off.end() - 1);
+  csr.c1_end.assign(csr.c1_off.begin(), csr.c1_off.end() - 1);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (is_path_edge[e] || kind[e] != 1) continue;
+    if (dist[e] < 1 || dist[e] > B) continue;
+    const NodeId t = tail[e];
+    const NodeId h = g.other_end(e, t);
+    csr.c0_data[csr.c0_end[t]++] = {dist[e], jv[e]};
+    csr.c1_data[csr.c1_end[h]++] = {dist[e], jv[e]};
+  }
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    // Dedup each side in place within its segment.
+    Commit* b0 = csr.c0_data.data() + csr.c0_off[v];
+    Commit* s0 = csr.c0_data.data() + csr.c0_end[v];
+    std::sort(b0, s0);
+    csr.c0_end[v] = static_cast<std::uint32_t>(std::unique(b0, s0) - csr.c0_data.data());
+    Commit* b1 = csr.c1_data.data() + csr.c1_off[v];
+    Commit* s1 = csr.c1_data.data() + csr.c1_end[v];
+    std::sort(b1, s1);
+    csr.c1_end[v] = static_cast<std::uint32_t>(std::unique(b1, s1) - csr.c1_data.data());
+  });
+  return csr;
+}
+
 }  // namespace
 
 StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
-                             const LrCheatSpec* cheat) {
+                             const LrCheatSpec* cheat, FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -82,7 +195,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   const PathLocal pl = path_locals(inst);
 
   const int B = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
-  if (n < 2 * B) return trivial_position_protocol(inst);
+  if (n < 2 * B) return trivial_position_protocol(inst, faults);
 
   // Fields. p > max(log^c n, 2B + 2); p' > p * B.
   const double logn = std::log2(static_cast<double>(n));
@@ -255,89 +368,9 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     }
   }
 
-  // ---- Per-node C0/C1 sets and their consistency checks (E3).
-  // CSR layout over nodes: one flat (index, j) array per side with per-node
-  // [offset, end) segments; dedup shrinks `end` in place. Replaces one heap
-  // vector per node and side.
-  std::vector<char> accept(n, 1);
-  using Commit = std::pair<int, std::uint64_t>;
-  std::vector<std::uint32_t> c0_off(n + 1, 0), c1_off(n + 1, 0);
-  for (EdgeId e = 0; e < g.m(); ++e) {
-    if (pl.is_path_edge[e]) continue;
-    if (kind[e] != 1) {
-      // Inner-block edges: index order and r_b equality, checked by both
-      // endpoints (hoisted out of the per-node decision loop — one pass over
-      // the edges instead of a neighbor scan per node).
-      const NodeId t = inst.tail[e];
-      const NodeId hd = g.other_end(e, t);
-      if (idx[t] >= idx[hd] ||
-          rb[block_of_pos(pl.pos[t])] != rb[block_of_pos(pl.pos[hd])]) {
-        accept[t] = accept[hd] = 0;
-      }
-      continue;
-    }
-    if (dist_i[e] < 1 || dist_i[e] > B) {
-      const auto [a, b2] = g.endpoints(e);
-      accept[a] = accept[b2] = 0;
-      continue;
-    }
-    ++c0_off[inst.tail[e] + 1];
-    ++c1_off[g.other_end(e, inst.tail[e]) + 1];
-  }
-  for (NodeId v = 0; v < n; ++v) {
-    c0_off[v + 1] += c0_off[v];
-    c1_off[v + 1] += c1_off[v];
-  }
-  std::vector<Commit> c0_data(c0_off[n]), c1_data(c1_off[n]);
-  std::vector<std::uint32_t> c0_end(c0_off.begin(), c0_off.end() - 1);
-  std::vector<std::uint32_t> c1_end(c1_off.begin(), c1_off.end() - 1);
-  for (EdgeId e = 0; e < g.m(); ++e) {
-    if (pl.is_path_edge[e] || kind[e] != 1) continue;
-    if (dist_i[e] < 1 || dist_i[e] > B) continue;
-    const NodeId t = inst.tail[e];
-    const NodeId h = g.other_end(e, t);
-    c0_data[c0_end[t]++] = {dist_i[e], jval[e]};
-    c1_data[c1_end[h]++] = {dist_i[e], jval[e]};
-  }
-  auto c0_begin = [&](NodeId v) { return c0_data.data() + c0_off[v]; };
-  auto c0_stop = [&](NodeId v) { return c0_data.data() + c0_end[v]; };
-  auto c1_begin = [&](NodeId v) { return c1_data.data() + c1_off[v]; };
-  auto c1_stop = [&](NodeId v) { return c1_data.data() + c1_end[v]; };
-  parallel_for(n, [&](std::int64_t vi) {
-    const NodeId v = static_cast<NodeId>(vi);
-    // Dedup each side in place within its segment.
-    std::sort(c0_begin(v), c0_stop(v));
-    c0_end[v] = static_cast<std::uint32_t>(
-        std::unique(c0_begin(v), c0_stop(v)) - c0_data.data());
-    std::sort(c1_begin(v), c1_stop(v));
-    c1_end[v] = static_cast<std::uint32_t>(
-        std::unique(c1_begin(v), c1_stop(v)) - c1_data.data());
-    // No index may appear on both sides, nor with two different j values.
-    // After dedup both sides are sorted with distinct pairs, so a repeated
-    // index shows up as adjacent entries and a shared index falls out of a
-    // linear merge of the two segments.
-    bool ok = true;
-    for (const Commit* p = c0_begin(v); p + 1 < c0_stop(v); ++p) {
-      ok = ok && (p[0].first != p[1].first);
-    }
-    for (const Commit* p = c1_begin(v); p + 1 < c1_stop(v); ++p) {
-      ok = ok && (p[0].first != p[1].first);
-    }
-    const Commit* p0 = c0_begin(v);
-    const Commit* p1 = c1_begin(v);
-    while (p0 != c0_stop(v) && p1 != c1_stop(v)) {
-      if (p0->first == p1->first) {
-        ok = false;
-        break;
-      }
-      if (p0->first < p1->first) {
-        ++p0;
-      } else {
-        ++p1;
-      }
-    }
-    if (!ok) accept[v] = 0;
-  });
+  // ---- Per-node C0/C1 commitment sets (prover view; the decision-side E3
+  // consistency checks run on the decoded counterpart below).
+  const CommitCsr hon = build_commit_csr(g, inst.tail, pl.is_path_edge, B, kind, dist_i, jval);
 
   // ---- Multiplicities M_v (prover): count matching elements in the block
   // multisets (the best any prover can do). Sorted flat vectors per block;
@@ -350,8 +383,8 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     auto& v1 = block_c1[b];
     for (int i = lo; i < hi; ++i) {
       const NodeId v = inst.order[i];
-      v0.insert(v0.end(), c0_begin(v), c0_stop(v));
-      v1.insert(v1.end(), c1_begin(v), c1_stop(v));
+      v0.insert(v0.end(), hon.c0_begin(v), hon.c0_stop(v));
+      v1.insert(v1.end(), hon.c1_begin(v), hon.c1_stop(v));
     }
     std::sort(v0.begin(), v0.end());
     std::sort(v1.begin(), v1.end());
@@ -394,10 +427,10 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     const std::uint64_t pq0 = (j == 1) ? 1 : q0[pl.left[v]];
     const std::uint64_t pr0 = (j == 1) ? 1 : r0[pl.left[v]];
     std::uint64_t l1 = 1, l0 = 1;
-    for (const Commit* p = c1_begin(v); p != c1_stop(v); ++p) {
+    for (const Commit* p = hon.c1_begin(v); p != hon.c1_stop(v); ++p) {
       l1 = f2.mul(l1, f2.sub(enc(p->first, p->second), z));
     }
-    for (const Commit* p = c0_begin(v); p != c0_stop(v); ++p) {
+    for (const Commit* p = hon.c0_begin(v); p != hon.c0_stop(v); ++p) {
       l0 = f2.mul(l0, f2.sub(enc(p->first, p->second), z));
     }
     std::uint64_t d1 = 1, d0 = 1;
@@ -415,86 +448,310 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     r0[v] = f2.mul(pr0, d0);
   }
 
-  // ---- Decision: every remaining local check.
-  // Per-block boundary products A1(x1_b) and A2(x2_b) at r, computed once so
-  // the adjacent-block equality below is a pair of loads per boundary node.
-  std::vector<std::uint64_t> a1_blk(nb), a2_blk(nb);
-  parallel_for(nb, [&](std::int64_t b) {
-    const std::uint64_t x1 = blk_pos[b];
-    const std::uint64_t x2 = blk_pos[b] + 1;
-    std::uint64_t a1 = 1, a2 = 1;
-    for (int t = 1; t <= B; ++t) {
-      if ((x1 >> (B - t)) & 1) a1 = f.mul(a1, f.sub(static_cast<std::uint64_t>(t), r));
-      if ((x2 >> (B - t)) & 1) a2 = f.mul(a2, f.sub(static_cast<std::uint64_t>(t), r));
-    }
-    a1_blk[b] = a1;
-    a2_blk[b] = a2;
-  });
-  parallel_for(n, [&](std::int64_t i) {
-    const NodeId v = inst.order[i];
-    const int j = idx[v];
-    bool ok = true;
-    const NodeId lv = pl.left[v];
-    const NodeId rv = pl.right[v];
-    // Index chain.
-    if (lv == -1) {
-      ok = ok && (j == 1);
-    } else {
-      ok = ok && ((idx[lv] == j - 1) || (j == 1 && idx[lv] >= B));
-    }
-    if (rv == -1) {
-      ok = ok && (j >= B);
-    } else {
-      ok = ok && ((idx[rv] == j + 1 && j + 1 <= 2 * B - 1) || (idx[rv] == 1 && j >= B));
-    }
-    const bool last_in_block = (rv == -1) || (idx[rv] == 1);
-    // Consecutive-numbers proof (x1 + 1 == x2) via rel_vb.
-    if (j <= B) {
-      const bool right_rel_ok = (j == B) || (rv == -1) || (idx[rv] > B) || (rel[rv] == 2);
-      const bool left_rel_ok = (j == 1) || (lv == -1) || (rel[lv] == 0);
-      switch (rel[v]) {
-        case 0:  // left of v_b: bits equal
-          ok = ok && (x1b[v] == x2b[v]) && left_rel_ok && (j != B);
-          break;
-        case 1:  // v_b: 0 -> 1
-          ok = ok && (x1b[v] == 0 && x2b[v] == 1) && right_rel_ok && left_rel_ok;
-          break;
-        case 2:  // right of v_b: 1 -> 0
-          ok = ok && (x1b[v] == 1 && x2b[v] == 0) && right_rel_ok;
-          break;
-        default:
-          ok = false;
-      }
-    }
-    // A2 (left-to-right over x2 bits) and A1 (right-to-left over x1 bits).
-    // Recomputing the recurrences from neighbor labels is the local check; we
-    // verify the adjacent-block boundary equality here, which is the only
-    // place a lie can hide (the chains themselves are deterministic).
-    if (last_in_block && rv != -1) {
-      // A2 of this block vs A1 of the next block.
-      const int b = block_of_pos(static_cast<int>(i));
-      const int b2 = block_of_pos(pl.pos[rv]);
-      ok = ok && (a2_blk[b] == a1_blk[b2]);
-    }
-    // Verification-scheme block-end comparisons.
-    if (last_in_block) {
-      ok = ok && (q1[v] == r1[v]) && (q0[v] == r0[v]);
-    }
-    // (Inner-block edge checks ran in the edge pass above; their rejections
-    // are already recorded in `accept`.)
-    if (!ok) accept[v] = 0;
-  });
-
-  // ---- Accounting.
-  StageResult out;
-  out.node_accepts = std::move(accept);
-  out.node_bits.assign(n, 0);
-  out.coin_bits.assign(n, 0);
-  out.rounds = kLrSortingRounds;
+  // ---- The transcript hits the wire. Everything the decision reads below is
+  // recorded in stores so a fault injector can corrupt it in transit; the
+  // accounting epilogue stays analytic (the stores are the wire, not the cost
+  // model).
   std::vector<NodeId> acc_storage;
   if (inst.accountable.empty()) acc_storage = accountable_endpoints(g);
   const std::vector<NodeId>& acc_end = inst.accountable.empty() ? acc_storage : inst.accountable;
   LRDIP_CHECK(static_cast<int>(acc_end.size()) == g.m());
+
+  LabelStore labels(g, /*rounds=*/2);
+  CoinStore coins(g, /*rounds=*/2);
+  for (NodeId v = 0; v < n; ++v) {
+    Label bl;
+    bl.reserve(kNodeBlockFields);
+    bl.put(static_cast<std::uint64_t>(idx[v]), idx_bits)
+        .put_flag(x1b[v] != 0)
+        .put_flag(x2b[v] != 0)
+        .put(static_cast<std::uint64_t>(rel[v]), 2)
+        .put(static_cast<std::uint64_t>(mult[v]), mult_bits)
+        .put(pfx[v], fbits);
+    labels.assign_node(kRoundBlock, v, std::move(bl));
+    Label chl;
+    chl.reserve(kChainFields);
+    chl.put(q1[v], f2bits).put(r1[v], f2bits).put(q0[v], f2bits).put(r0[v], f2bits);
+    labels.assign_node(kRoundChains, v, std::move(chl));
+  }
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (pl.is_path_edge[e]) continue;
+    Label el;
+    if (kind[e] == 1) {
+      el.reserve(3);
+      el.put_flag(true)
+          .put(static_cast<std::uint64_t>(dist_i[e]), dist_bits)
+          .put(jval[e], fbits);
+    } else {
+      el.reserve(1);
+      el.put_flag(false);
+    }
+    labels.assign_edge(kRoundBlock, e, std::move(el), acc_end[e]);
+  }
+  const NodeId leftmost = inst.order.front();
+  {
+    const std::uint64_t head[3] = {r, rp, rb[0]};
+    coins.record(kRoundBlock, leftmost, {head, std::size_t{3}}, fbits);
+  }
+  for (int b = 1; b < nb; ++b) {
+    coins.record(kRoundBlock, inst.order[static_cast<std::size_t>(b) * B], {&rb[b], std::size_t{1}},
+                 fbits);
+  }
+  coins.record(kRoundChains, leftmost, {&z, std::size_t{1}}, f2bits);
+
+  // ---- Byzantine seam: corrupt the recorded transcript in transit.
+  if (faults != nullptr) faults->corrupt(labels, coins);
+
+  // ---- Decode (verifier): checked reads of everything the decision uses.
+  // Any structural defect is a per-node/per-edge RejectReason, never an
+  // exception; fallbacks are benign in-range values (the element is already
+  // rejected). Decoded field values are reduced into their fields so the
+  // arithmetic below is total on corrupted inputs.
+  std::vector<RejectReason> node_defect(n, RejectReason::none);
+  std::vector<int> idx_d(n, 1), rel_d(n, 3);
+  std::vector<char> x1b_d(n, 0), x2b_d(n, 0);
+  std::vector<std::uint64_t> mult_d(n, 0), pfx_d(n, 1);
+  std::vector<std::uint64_t> q1_d(n, 1), r1_d(n, 1), q0_d(n, 1), r0_d(n, 1);
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    LocalVerdict verdict;
+    try {
+      const Label& bl = labels.node_label(kRoundBlock, v);
+      expect_fields(bl, kNodeBlockFields, verdict);
+      idx_d[v] = static_cast<int>(read_or_reject(bl, kFIdx, idx_bits, verdict, 1));
+      x1b_d[v] = flag_or_reject(bl, kFX1, verdict) ? 1 : 0;
+      x2b_d[v] = flag_or_reject(bl, kFX2, verdict) ? 1 : 0;
+      rel_d[v] = static_cast<int>(read_or_reject(bl, kFRel, 2, verdict, 3));
+      mult_d[v] = read_or_reject(bl, kFMult, mult_bits, verdict, 0);
+      pfx_d[v] = f.reduce(read_or_reject(bl, kFPfx, fbits, verdict, 1));
+      const Label& chl = labels.node_label(kRoundChains, v);
+      expect_fields(chl, kChainFields, verdict);
+      q1_d[v] = f2.reduce(read_or_reject(chl, kFQ1, f2bits, verdict, 1));
+      r1_d[v] = f2.reduce(read_or_reject(chl, kFR1, f2bits, verdict, 1));
+      q0_d[v] = f2.reduce(read_or_reject(chl, kFQ0, f2bits, verdict, 1));
+      r0_d[v] = f2.reduce(read_or_reject(chl, kFR0, f2bits, verdict, 1));
+    } catch (...) {
+      verdict.reject(RejectReason::malformed_label);
+    }
+    node_defect[v] = verdict.reason();
+  });
+  // Coins, charged to the node that drew them.
+  std::uint64_t r_d = 0, rp_d = 0, z_d = 0;
+  std::vector<std::uint64_t> rb_d(nb, 0);
+  {
+    LocalVerdict cv;
+    const NodeView view(labels, coins, leftmost);
+    r_d = f.reduce(view.read_coin(kRoundBlock, 0, cv));
+    rp_d = f.reduce(view.read_coin(kRoundBlock, 1, cv));
+    rb_d[0] = f.reduce(view.read_coin(kRoundBlock, 2, cv));
+    z_d = f2.reduce(view.read_coin(kRoundChains, 0, cv));
+    node_defect[leftmost] = worse_reason(node_defect[leftmost], cv.reason());
+  }
+  for (int b = 1; b < nb; ++b) {
+    const NodeId hb = inst.order[static_cast<std::size_t>(b) * B];
+    LocalVerdict cv;
+    const NodeView view(labels, coins, hb);
+    rb_d[b] = f.reduce(view.read_coin(kRoundBlock, 0, cv));
+    node_defect[hb] = worse_reason(node_defect[hb], cv.reason());
+  }
+  // Edge commitments.
+  std::vector<RejectReason> edge_defect(g.m(), RejectReason::none);
+  std::vector<char> kind_d(g.m(), 0);
+  std::vector<int> dist_d(g.m(), 1);
+  std::vector<std::uint64_t> jval_d(g.m(), 0);
+  parallel_for(g.m(), [&](std::int64_t ei) {
+    const EdgeId e = static_cast<EdgeId>(ei);
+    if (pl.is_path_edge[e]) return;
+    LocalVerdict verdict;
+    try {
+      const Label& el = labels.edge_label(kRoundBlock, e);
+      kind_d[e] = flag_or_reject(el, kFKind, verdict) ? 1 : 0;
+      if (kind_d[e] == 1) {
+        expect_fields(el, 3, verdict);
+        dist_d[e] = static_cast<int>(read_or_reject(el, kFDist, dist_bits, verdict, 1));
+        jval_d[e] = f.reduce(read_or_reject(el, kFJ, fbits, verdict, 0));
+      } else {
+        expect_fields(el, 1, verdict);
+      }
+    } catch (...) {
+      verdict.reject(RejectReason::malformed_label);
+    }
+    edge_defect[e] = verdict.reason();
+  });
+
+  // Decision-side commitment CSR. The decode is the identity on an untouched
+  // wire, so the honest CSR is reused unless an injector ran.
+  CommitCsr dec_storage;
+  const CommitCsr* dec = &hon;
+  if (faults != nullptr) {
+    dec_storage = build_commit_csr(g, inst.tail, pl.is_path_edge, B, kind_d, dist_d, jval_d);
+    dec = &dec_storage;
+  }
+
+  // ---- Edge-level checks hoisted out of the per-node loop (one pass over
+  // the edges instead of a neighbor scan per node): decode defects hit both
+  // endpoints; inner-block edges check index order and the r_b block
+  // identity; outer edges need an in-range distinguishing index.
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (pl.is_path_edge[e]) continue;
+    const NodeId t = inst.tail[e];
+    const NodeId h = g.other_end(e, t);
+    RejectReason bad = edge_defect[e];
+    if (kind_d[e] != 1) {
+      if (idx_d[t] >= idx_d[h] ||
+          rb_d[block_of_pos(pl.pos[t])] != rb_d[block_of_pos(pl.pos[h])]) {
+        bad = worse_reason(bad, RejectReason::check_failed);
+      }
+    } else if (dist_d[e] < 1 || dist_d[e] > B) {
+      bad = worse_reason(bad, RejectReason::check_failed);
+    }
+    if (bad != RejectReason::none) {
+      node_defect[t] = worse_reason(node_defect[t], bad);
+      node_defect[h] = worse_reason(node_defect[h], bad);
+    }
+  }
+
+  // ---- Decision: every remaining local check, over the decoded transcript.
+  // Per-block boundary products A1(x1_b) and A2(x2_b) at r, recomputed from
+  // the decoded per-node bits once per block so the adjacent-block equality
+  // below is a pair of loads per boundary node.
+  std::vector<std::uint64_t> a1_dec(nb), a2_dec(nb);
+  parallel_for(nb, [&](std::int64_t b) {
+    const int lo = static_cast<int>(b) * B;
+    const int hi = (b == nb - 1) ? n : lo + B;
+    std::uint64_t a1 = 1, a2 = 1;
+    for (int i = lo; i < hi; ++i) {
+      const NodeId v = inst.order[i];
+      const int j = idx_d[v];
+      if (j < 1 || j > B) continue;
+      const std::uint64_t jr = f.reduce(static_cast<std::uint64_t>(j));
+      if (x1b_d[v]) a1 = f.mul(a1, f.sub(jr, r_d));
+      if (x2b_d[v]) a2 = f.mul(a2, f.sub(jr, r_d));
+    }
+    a1_dec[b] = a1;
+    a2_dec[b] = a2;
+  });
+
+  StageResult out;
+  out.rounds = kLrSortingRounds;
+  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    verdict.reject(node_defect[v]);
+    const int i = pl.pos[v];
+    const int j = idx_d[v];
+    const NodeId lv = pl.left[v];
+    const NodeId rv = pl.right[v];
+    // Index chain.
+    if (lv == -1) {
+      verdict.require(j == 1);
+    } else {
+      verdict.require((idx_d[lv] == j - 1) || (j == 1 && idx_d[lv] >= B));
+    }
+    if (rv == -1) {
+      verdict.require(j >= B);
+    } else {
+      verdict.require((idx_d[rv] == j + 1 && j + 1 <= 2 * B - 1) || (idx_d[rv] == 1 && j >= B));
+    }
+    const bool last_in_block = (rv == -1) || (idx_d[rv] == 1);
+    // Consecutive-numbers proof (x1 + 1 == x2) via rel_vb.
+    if (j <= B) {
+      const bool right_rel_ok = (j == B) || (rv == -1) || (idx_d[rv] > B) || (rel_d[rv] == 2);
+      const bool left_rel_ok = (j == 1) || (lv == -1) || (rel_d[lv] == 0);
+      switch (rel_d[v]) {
+        case 0:  // left of v_b: bits equal
+          verdict.require((x1b_d[v] == x2b_d[v]) && left_rel_ok && (j != B));
+          break;
+        case 1:  // v_b: 0 -> 1
+          verdict.require((x1b_d[v] == 0 && x2b_d[v] == 1) && right_rel_ok && left_rel_ok);
+          break;
+        case 2:  // right of v_b: 1 -> 0
+          verdict.require((x1b_d[v] == 1 && x2b_d[v] == 0) && right_rel_ok);
+          break;
+        default:
+          verdict.require(false);
+      }
+    }
+    // Prefix-evaluation chain: P_v follows the phi recurrence from the left
+    // path neighbor's label (resetting at block heads).
+    const std::uint64_t p_prev = (j == 1 || lv == -1) ? std::uint64_t{1} : pfx_d[lv];
+    const std::uint64_t p_expect =
+        (j >= 1 && j <= B && x1b_d[v])
+            ? f.mul(p_prev, f.sub(f.reduce(static_cast<std::uint64_t>(j)), rp_d))
+            : p_prev;
+    verdict.require(pfx_d[v] == p_expect);
+    // A2 (left-to-right over x2 bits) vs A1 (right-to-left over x1 bits):
+    // the adjacent-block boundary equality is the only place a lie can hide
+    // (the chains themselves are deterministic given the bits).
+    if (last_in_block && rv != -1) {
+      const int b = block_of_pos(i);
+      const int b2 = block_of_pos(pl.pos[rv]);
+      verdict.require(a2_dec[b] == a1_dec[b2]);
+    }
+    // Verification-scheme chains: recompute this node's Q/R step from the
+    // left neighbor's labels and the decoded incident commitments.
+    {
+      const std::uint64_t pq1 = (j == 1 || lv == -1) ? std::uint64_t{1} : q1_d[lv];
+      const std::uint64_t pr1 = (j == 1 || lv == -1) ? std::uint64_t{1} : r1_d[lv];
+      const std::uint64_t pq0 = (j == 1 || lv == -1) ? std::uint64_t{1} : q0_d[lv];
+      const std::uint64_t pr0 = (j == 1 || lv == -1) ? std::uint64_t{1} : r0_d[lv];
+      std::uint64_t l1 = 1, l0 = 1;
+      for (const Commit* p = dec->c1_begin(v); p != dec->c1_stop(v); ++p) {
+        l1 = f2.mul(l1, f2.sub(enc(p->first, p->second), z_d));
+      }
+      for (const Commit* p = dec->c0_begin(v); p != dec->c0_stop(v); ++p) {
+        l0 = f2.mul(l0, f2.sub(enc(p->first, p->second), z_d));
+      }
+      std::uint64_t d1 = 1, d0 = 1;
+      if (j >= 1 && j <= B) {
+        const std::uint64_t el = f2.sub(enc(j, p_prev), z_d);
+        if (x1b_d[v]) {
+          d1 = f2.pow(el, mult_d[v]);
+        } else {
+          d0 = f2.pow(el, mult_d[v]);
+        }
+      }
+      verdict.require(q1_d[v] == f2.mul(pq1, l1));
+      verdict.require(r1_d[v] == f2.mul(pr1, d1));
+      verdict.require(q0_d[v] == f2.mul(pq0, l0));
+      verdict.require(r0_d[v] == f2.mul(pr0, d0));
+      // Verification-scheme block-end comparisons.
+      if (last_in_block) {
+        verdict.require(q1_d[v] == r1_d[v] && q0_d[v] == r0_d[v]);
+      }
+    }
+    // E3: no distinguishing index may appear on both sides of a node, nor
+    // twice within a side. After dedup both segments are sorted with
+    // distinct pairs, so a repeated index shows up as adjacent entries and a
+    // shared index falls out of a linear merge of the two segments.
+    {
+      bool ok = true;
+      for (const Commit* p = dec->c0_begin(v); p + 1 < dec->c0_stop(v); ++p) {
+        ok = ok && (p[0].first != p[1].first);
+      }
+      for (const Commit* p = dec->c1_begin(v); p + 1 < dec->c1_stop(v); ++p) {
+        ok = ok && (p[0].first != p[1].first);
+      }
+      const Commit* p0 = dec->c0_begin(v);
+      const Commit* p1 = dec->c1_begin(v);
+      while (p0 != dec->c0_stop(v) && p1 != dec->c1_stop(v)) {
+        if (p0->first == p1->first) {
+          ok = false;
+          break;
+        }
+        if (p0->first < p1->first) {
+          ++p0;
+        } else {
+          ++p1;
+        }
+      }
+      verdict.require(ok);
+    }
+    return true;
+  });
+  out.node_accepts = accepts_from_reasons(out.node_reasons);
+
+  // ---- Accounting (analytic: what the honest prover sent).
+  out.node_bits.assign(n, 0);
+  out.coin_bits.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     int bits = kEdgeSimFramingBits;
     bits += idx_bits + 1 + 1 + 2 + mult_bits;       // R1 node fields
@@ -508,7 +765,6 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
     if (kind[e] == 1) ebits += dist_bits + fbits;  // distinguishing index + j
     out.node_bits[acc_end[e]] += ebits;
   }
-  const NodeId leftmost = inst.order.front();
   out.coin_bits[leftmost] += 2 * fbits + f2bits;  // r, r', z
   for (int i = 0; i < n; ++i) {
     if (idx[inst.order[i]] == 1) out.coin_bits[inst.order[i]] += fbits;  // r_b
@@ -517,12 +773,12 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
 }
 
 Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
-                       const LrCheatSpec* cheat) {
-  return finalize(lr_sorting_stage(inst, params, rng, cheat));
+                       const LrCheatSpec* cheat, FaultInjector* faults) {
+  return finalize(lr_sorting_stage(inst, params, rng, cheat, faults));
 }
 
 Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst) {
-  return finalize(trivial_position_protocol(inst));
+  return finalize(trivial_position_protocol(inst, nullptr));
 }
 
 }  // namespace lrdip

@@ -46,6 +46,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct LrSortingInstance {
   const Graph* graph = nullptr;
   /// Ground-truth left-to-right order of the Hamiltonian path. The simulated
@@ -84,11 +86,15 @@ struct LrCheatSpec {
 /// Rounds the full protocol uses.
 inline constexpr int kLrSortingRounds = 5;
 
+/// `faults`, when non-null, corrupts the recorded decision transcript (node
+/// block labels, edge commitments, chain labels, public coins) between prover
+/// and verifier; the hardened decode rejects locally with a per-node
+/// RejectReason and never throws.
 StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
-                             const LrCheatSpec* cheat = nullptr);
+                             const LrCheatSpec* cheat = nullptr, FaultInjector* faults = nullptr);
 
 Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
-                       const LrCheatSpec* cheat = nullptr);
+                       const LrCheatSpec* cheat = nullptr, FaultInjector* faults = nullptr);
 
 /// Baseline: the trivial one-round proof labeling scheme that writes every
 /// node's path position (Theta(log n) bits). Deterministic and sound; the

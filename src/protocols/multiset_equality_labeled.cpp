@@ -1,11 +1,14 @@
 #include "protocols/multiset_equality_labeled.hpp"
 
+#include "dip/faults.hpp"
+#include "protocols/stage.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
 
 Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tree,
-                                         const MultisetEqualityInput& in, Rng& rng) {
+                                         const MultisetEqualityInput& in, Rng& rng,
+                                         FaultInjector* faults) {
   using L = MeLabeledLayout;
   const int n = g.n();
   const Fp f = multiset_equality_field(in.size_bound, in.universe_exponent);
@@ -42,37 +45,37 @@ Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tre
     labels.assign_node(L::kRoundResponse, v, std::move(l));
   }
 
+  // --- Byzantine seam: corrupt the recorded transcript in transit.
+  if (faults != nullptr) faults->corrupt(labels, coins);
+
   // --- Decision via NodeViews: the z relay, the product recurrences, the
-  // root comparison (one node per executor iteration).
-  const std::vector<char> accepts = decide_nodes(n, [&](NodeId v) {
+  // root comparison (one node per executor iteration). Checked reads: any
+  // structural defect is a local reject, never an exception.
+  std::vector<RejectReason> reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
     const NodeView view(labels, coins, v);
     const Label& mine = view.own(L::kRoundResponse);
-    const std::uint64_t zv = mine.get(L::kFieldZ);
-    bool ok = true;
+    expect_fields(mine, 3, verdict);
+    const std::uint64_t zv = read_or_reject(mine, L::kFieldZ, fbits, verdict);
+    const std::uint64_t mine_a1 = read_or_reject(mine, L::kFieldA1, fbits, verdict);
+    const std::uint64_t mine_a2 = read_or_reject(mine, L::kFieldA2, fbits, verdict);
     if (v == root) {
-      ok = ok && (zv == view.own_coins(L::kRoundCoins)[0]);
-      ok = ok && (mine.get(L::kFieldA1) == mine.get(L::kFieldA2));
+      verdict.require(zv == view.read_coin(L::kRoundCoins, 0, verdict));
+      verdict.require(mine_a1 == mine_a2);
     } else {
-      ok = ok && (view.of_neighbor(L::kRoundResponse, tree.parent[v]).get(L::kFieldZ) == zv);
+      verdict.require(
+          view.read_neighbor(L::kRoundResponse, tree.parent[v], L::kFieldZ, fbits, verdict) == zv);
     }
-    std::uint64_t p1 = f.multiset_poly(in.s1[v], zv);
-    std::uint64_t p2 = f.multiset_poly(in.s2[v], zv);
+    std::uint64_t p1 = f.multiset_poly(in.s1[v], f.reduce(zv));
+    std::uint64_t p2 = f.multiset_poly(in.s2[v], f.reduce(zv));
     for (NodeId c : children[v]) {
-      const Label& cl = view.of_neighbor(L::kRoundResponse, c);
-      p1 = f.mul(p1, cl.get(L::kFieldA1));
-      p2 = f.mul(p2, cl.get(L::kFieldA2));
+      p1 = f.mul(p1, view.read_neighbor(L::kRoundResponse, c, L::kFieldA1, fbits, verdict));
+      p2 = f.mul(p2, view.read_neighbor(L::kRoundResponse, c, L::kFieldA2, fbits, verdict));
     }
-    return ok && (mine.get(L::kFieldA1) == p1) && (mine.get(L::kFieldA2) == p2);
+    verdict.require(mine_a1 == p1);
+    verdict.require(mine_a2 == p2);
+    return true;  // failures recorded in the verdict
   });
-  bool all = true;
-  for (char a : accepts) all = all && a;
-
-  Outcome o;
-  o.accepted = all;
-  o.rounds = 2;
-  o.proof_size_bits = labels.proof_size_bits();
-  o.total_label_bits = labels.total_label_bits();
-  o.max_coin_bits = coins.max_coin_bits();
+  Outcome o = finalize(stage_from_stores(labels, coins, std::move(reasons), /*rounds=*/2));
   return o;
 }
 

@@ -12,6 +12,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct MeLabeledLayout {
   static constexpr int kRoundCoins = 0;     // verifier: z at the root
   static constexpr int kRoundResponse = 1;  // prover: z echo + A1 + A2
@@ -20,7 +22,10 @@ struct MeLabeledLayout {
   static constexpr std::size_t kFieldA2 = 2;
 };
 
+/// `faults`, when non-null, corrupts the recorded transcript between prover
+/// and verifier; the hardened decision rejects locally, it never throws.
 Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tree,
-                                         const MultisetEqualityInput& in, Rng& rng);
+                                         const MultisetEqualityInput& in, Rng& rng,
+                                         FaultInjector* faults = nullptr);
 
 }  // namespace lrdip

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "dip/faults.hpp"
+#include "dip/store.hpp"
 #include "graph/degeneracy.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
@@ -26,20 +28,46 @@ struct Name {
   friend bool operator==(const Name&, const Name&) = default;
 };
 
+/// Store layout of the stage transcript (one prover round; the verifier's
+/// fragments live in the parallel CoinStore round).
+struct NestingLayout {
+  static constexpr int kRound = 0;
+  // Node label: the two gap covers.
+  static constexpr std::size_t kAboveLeftA = 0;
+  static constexpr std::size_t kAboveLeftB = 1;
+  static constexpr std::size_t kAboveLeftBottom = 2;
+  static constexpr std::size_t kAboveRightA = 3;
+  static constexpr std::size_t kAboveRightB = 4;
+  static constexpr std::size_t kAboveRightBottom = 5;
+  static constexpr std::size_t kNodeFields = 6;
+  // Arc label: longest marks, name echo, successor name.
+  static constexpr std::size_t kLongestLeft = 0;
+  static constexpr std::size_t kLongestRight = 1;
+  static constexpr std::size_t kNameA = 2;
+  static constexpr std::size_t kNameB = 3;
+  static constexpr std::size_t kSuccA = 4;
+  static constexpr std::size_t kSuccB = 5;
+  static constexpr std::size_t kSuccBottom = 6;
+  static constexpr std::size_t kArcFields = 7;
+};
+
 }  // namespace
 
-StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng) {
+StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng,
+                          FaultInjector* faults) {
   const int n = g.n();
   const int ls = nesting_fragment_bits(n, c);
   const std::uint64_t smask = (ls == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << ls) - 1);
   // --- R2 (verifier): name fragments.
   std::vector<std::uint64_t> s(n);
   for (NodeId v = 0; v < n; ++v) s[v] = rng.next_u64() & smask;
-  return nesting_stage_with_fragments(g, order, s, ls);
+  return nesting_stage_with_fragments(g, order, s, ls, faults);
 }
 
 StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeId>& order,
-                                         const std::vector<std::uint64_t>& s, int ls) {
+                                         const std::vector<std::uint64_t>& s, int ls,
+                                         FaultInjector* faults) {
+  using L = NestingLayout;
   const int n = g.n();
   std::vector<int> pos(n);
   for (int i = 0; i < n; ++i) pos[order[i]] = i;
@@ -62,6 +90,10 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
   }
   std::sort(arcs.begin(), arcs.end(),
             [](const Arc& x, const Arc& y) { return x.l != y.l ? x.l < y.l : x.r > y.r; });
+
+  // Accountable endpoints, hoisted from the accounting epilogue: edge labels
+  // are charged (and store-assigned) to the accountable endpoint.
+  const std::vector<NodeId> acc = accountable_endpoints(g);
 
   // --- R1 (prover): truthful longest-left/right marks.
   std::vector<char> longest_right(g.m(), 0), longest_left(g.m(), 0);
@@ -107,9 +139,78 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
     above_r[order[n - 1]] = Name{};
   }
 
+  // --- The transcript hits the wire: fragments into the coin store, marks /
+  // name echoes / successors / gap covers into the label store. Accounting
+  // stays analytic (the epilogue below); the stores are the Byzantine seam.
+  LabelStore labels(g, /*rounds=*/1);
+  CoinStore coins(g, /*rounds=*/1);
+  for (NodeId v = 0; v < n; ++v) {
+    coins.record(L::kRound, v, {&s[v], 1}, ls);
+    Label l;
+    l.reserve(L::kNodeFields);
+    l.put(above_l[v].a, ls).put(above_l[v].b, ls).put_flag(above_l[v].bottom);
+    l.put(above_r[v].a, ls).put(above_r[v].b, ls).put_flag(above_r[v].bottom);
+    labels.assign_node(L::kRound, v, std::move(l));
+  }
+  for (const Arc& a : arcs) {
+    const Name nm = name_of(a.e);
+    Label l;
+    l.reserve(L::kArcFields);
+    l.put_flag(longest_left[a.e] != 0).put_flag(longest_right[a.e] != 0);
+    l.put(nm.a, ls).put(nm.b, ls);
+    l.put(succ[a.e].a, ls).put(succ[a.e].b, ls).put_flag(succ[a.e].bottom);
+    labels.assign_edge(L::kRound, a.e, std::move(l), acc[a.e]);
+  }
+  if (faults != nullptr) faults->corrupt(labels, coins);
+
+  // --- Decode (verifier side): checked reads only; a malformed element marks
+  // its owner(s) with the precise reason and decodes to a benign bottom/zero
+  // fallback, so the semantic checks below stay total.
+  std::vector<std::uint64_t> s_d(n);
+  std::vector<Name> above_l_d(n), above_r_d(n);
+  std::vector<RejectReason> node_defect(n, RejectReason::none);
+  parallel_for(n, [&](std::int64_t v) {
+    const auto slot = coins.coins(L::kRound, v);
+    s_d[v] = slot.empty() ? 0 : slot[0];
+    LocalVerdict verdict;
+    const Label& l = labels.node_label(L::kRound, static_cast<NodeId>(v));
+    expect_fields(l, L::kNodeFields, verdict);
+    above_l_d[v] = Name{read_or_reject(l, L::kAboveLeftA, ls, verdict),
+                        read_or_reject(l, L::kAboveLeftB, ls, verdict),
+                        flag_or_reject(l, L::kAboveLeftBottom, verdict, true)};
+    above_r_d[v] = Name{read_or_reject(l, L::kAboveRightA, ls, verdict),
+                        read_or_reject(l, L::kAboveRightB, ls, verdict),
+                        flag_or_reject(l, L::kAboveRightBottom, verdict, true)};
+    node_defect[v] = verdict.reason();
+  });
+  auto name_of_d = [&](EdgeId e) {
+    const auto [u, v] = g.endpoints(e);
+    const NodeId left = pos[u] < pos[v] ? u : v;
+    const NodeId right = pos[u] < pos[v] ? v : u;
+    return Name{s_d[left], s_d[right], false};
+  };
+  std::vector<char> lr_d(g.m(), 0), ll_d(g.m(), 0);
+  std::vector<Name> succ_d(g.m());
+  std::vector<RejectReason> edge_defect(g.m(), RejectReason::none);
+  parallel_for(static_cast<std::int64_t>(arcs.size()), [&](std::int64_t i) {
+    const EdgeId e = arcs[static_cast<std::size_t>(i)].e;
+    LocalVerdict verdict;
+    const Label& l = labels.edge_label(L::kRound, e);
+    expect_fields(l, L::kArcFields, verdict);
+    ll_d[e] = flag_or_reject(l, L::kLongestLeft, verdict) ? 1 : 0;
+    lr_d[e] = flag_or_reject(l, L::kLongestRight, verdict) ? 1 : 0;
+    // C5 name echo: the shipped name must match the verifier's fragments.
+    const Name echo{read_or_reject(l, L::kNameA, ls, verdict),
+                    read_or_reject(l, L::kNameB, ls, verdict), false};
+    verdict.require(echo == name_of_d(e));
+    succ_d[e] = Name{read_or_reject(l, L::kSuccA, ls, verdict),
+                     read_or_reject(l, L::kSuccB, ls, verdict),
+                     flag_or_reject(l, L::kSuccBottom, verdict, true)};
+    edge_defect[e] = verdict.reason();
+  });
+
   // --- Decision.
   StageResult out;
-  out.node_accepts.assign(n, 1);
   out.node_bits.assign(n, 0);
   out.coin_bits.assign(n, ls);
   out.rounds = 3;
@@ -124,14 +225,14 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
                                                              std::size_t depth) {
       if (want.bottom) return false;
       for (std::size_t t = 0; t < k; ++t) {
-        if (used[t] || !(name_of(edges[t]) == want)) continue;
+        if (used[t] || !(name_of_d(edges[t]) == want)) continue;
         used[t] = 1;
         const bool last = depth + 1 == k;
         bool ok;
         if (last) {
           ok = longest_mark[edges[t]] != 0;
         } else {
-          ok = !longest_mark[edges[t]] && walk(succ[edges[t]], depth + 1);
+          ok = !longest_mark[edges[t]] && walk(succ_d[edges[t]], depth + 1);
         }
         if (ok) return true;
         used[t] = 0;
@@ -141,37 +242,39 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
     return walk(anchor, 0);
   };
 
-  out.node_accepts = decide_nodes(n, [&](NodeId v) {
+  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    verdict.reject(node_defect[v]);
     bool ok = true;
     std::vector<EdgeId> right_edges, left_edges;
     for (const Half& h : g.neighbors(v)) {
       if (is_path[h.edge]) continue;
+      verdict.reject(edge_defect[h.edge]);
       (pos[h.to] > pos[v] ? right_edges : left_edges).push_back(h.edge);
     }
     // C5: marks.
     int marked_r = 0, marked_l = 0;
     for (EdgeId e : right_edges) {
-      marked_r += longest_right[e] ? 1 : 0;
-      if (!longest_right[e] && !longest_left[e]) ok = false;
+      marked_r += lr_d[e] ? 1 : 0;
+      if (!lr_d[e] && !ll_d[e]) ok = false;
     }
     for (EdgeId e : left_edges) {
-      marked_l += longest_left[e] ? 1 : 0;
-      if (!longest_left[e] && !longest_right[e]) ok = false;
+      marked_l += ll_d[e] ? 1 : 0;
+      if (!ll_d[e] && !lr_d[e]) ok = false;
     }
     if (!right_edges.empty() && marked_r != 1) ok = false;
     if (!left_edges.empty() && marked_l != 1) ok = false;
     // C1/C2 chains (only meaningful if marks are sane).
     Name succ_right{}, succ_left{};  // succ of the longest edges
     if (ok && !right_edges.empty()) {
-      ok = ok && chain_exists(right_edges, above_r[v], longest_right);
+      ok = ok && chain_exists(right_edges, above_r_d[v], lr_d);
       for (EdgeId e : right_edges) {
-        if (longest_right[e]) succ_right = succ[e];
+        if (lr_d[e]) succ_right = succ_d[e];
       }
     }
     if (ok && !left_edges.empty()) {
-      ok = ok && chain_exists(left_edges, above_l[v], longest_left);
+      ok = ok && chain_exists(left_edges, above_l_d[v], ll_d);
       for (EdgeId e : left_edges) {
-        if (longest_left[e]) succ_left = succ[e];
+        if (ll_d[e]) succ_left = succ_d[e];
       }
     }
     // C3.
@@ -179,25 +282,25 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
       if (!right_edges.empty() && !left_edges.empty()) {
         ok = succ_right == succ_left;
       } else if (!right_edges.empty()) {
-        ok = above_l[v] == succ_right;
+        ok = above_l_d[v] == succ_right;
       } else if (!left_edges.empty()) {
-        ok = above_r[v] == succ_left;
+        ok = above_r_d[v] == succ_left;
       } else {
-        ok = above_l[v] == above_r[v];
+        ok = above_l_d[v] == above_r_d[v];
       }
     }
     // C4 with the right path neighbor (both endpoints of the gap check it).
     const int i = pos[v];
-    if (i + 1 < n && !(above_r[v] == above_l[order[i + 1]])) ok = false;
-    if (i == 0 && !above_l[v].bottom) ok = false;
-    if (i == n - 1 && !above_r[v].bottom) ok = false;
+    if (i + 1 < n && !(above_r_d[v] == above_l_d[order[i + 1]])) ok = false;
+    if (i == 0 && !above_l_d[v].bottom) ok = false;
+    if (i == n - 1 && !above_r_d[v].bottom) ok = false;
     return ok;
   });
+  out.node_accepts = accepts_from_reasons(out.node_reasons);
 
   // --- Accounting.
   const int name_bits = 2 * ls;      // echo of (s_u, s_v)
   const int succ_bits = 2 * ls + 1;  // successor name + bottom flag
-  const std::vector<NodeId> acc = accountable_endpoints(g);
   for (NodeId v = 0; v < n; ++v) {
     out.node_bits[v] += 2 * succ_bits;  // above_left / above_right
   }

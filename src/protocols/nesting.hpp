@@ -16,17 +16,23 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 /// Runs the nesting-verification stage on graph g whose Hamiltonian path is
 /// `order`. The (simulated) prover is best-effort: truthful marks and a
 /// crossing-tolerant sweep, which is exact when the instance nests properly.
-StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng);
+/// The marks / name echoes / successors / gap covers are recorded in a
+/// LabelStore (fragments in a CoinStore); `faults`, when non-null, corrupts
+/// that transcript in transit and the hardened decode rejects locally.
+StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int c, Rng& rng,
+                          FaultInjector* faults = nullptr);
 
 /// Same checks with externally supplied per-node name fragments of width
 /// `frag_bits` (used by the Theorem 1.8 experiment, where fragments are
 /// truncated positions instead of random strings).
 StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeId>& order,
                                          const std::vector<std::uint64_t>& fragments,
-                                         int frag_bits);
+                                         int frag_bits, FaultInjector* faults = nullptr);
 
 /// Name-fragment width used by the stage: Theta(c log log n).
 int nesting_fragment_bits(int n, int c);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "dip/faults.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/biconnected.hpp"
 #include "graph/outerplanar.hpp"
@@ -36,7 +37,7 @@ std::optional<std::vector<NodeId>> find_certificate(
 }  // namespace
 
 StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpParams& params,
-                                 Rng& rng) {
+                                 Rng& rng, FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -133,25 +134,56 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
       }
       if (leader_of[b] != -1) lead_lbl[v] = frag[leader_of[b]];
     }
-    // Checks at non-cut nodes: every neighbor shares (sep, lead) or is a cut
-    // node whose own fragment equals sep(v).
+    // The labels and fragments hit the wire; the checks below run on the
+    // decoded (possibly corrupted) transcript.
+    LabelStore labels(g, /*rounds=*/1);
+    CoinStore coins(g, /*rounds=*/1);
+    for (NodeId v = 0; v < n; ++v) {
+      Label l;
+      l.reserve(3);
+      l.put(sep_lbl[v], ls).put_flag(sep_bot[v] != 0).put(lead_lbl[v], ls);
+      labels.assign_node(0, v, std::move(l));
+      if (draws[v]) coins.record(0, v, {&frag[v], std::size_t{1}}, ls);
+    }
+    if (faults != nullptr) faults->corrupt(labels, coins);
+    std::vector<std::uint64_t> sep_d(n, 0), lead_d(n, 0), frag_d(n, 0);
+    std::vector<char> bot_d(n, 1);
+    std::vector<RejectReason> defect(n, RejectReason::none);
     parallel_for(n, [&](std::int64_t vi) {
       const NodeId v = static_cast<NodeId>(vi);
-      if (bct.decomp.is_cut[v]) return;
+      LocalVerdict verdict;
+      const Label& l = labels.node_label(0, v);
+      expect_fields(l, 3, verdict);
+      sep_d[v] = read_or_reject(l, 0, ls, verdict, 0);
+      bot_d[v] = flag_or_reject(l, 1, verdict, true) ? 1 : 0;
+      lead_d[v] = read_or_reject(l, 2, ls, verdict, 0);
+      if (draws[v]) {
+        const NodeView view(labels, coins, v);
+        frag_d[v] = view.read_coin(0, 0, verdict);
+      }
+      defect[v] = verdict.reason();
+    });
+    // Checks at non-cut nodes: every neighbor shares (sep, lead) or is a cut
+    // node whose own fragment equals sep(v).
+    stage1.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+      verdict.reject(defect[v]);
+      if (bct.decomp.is_cut[v]) return true;
       for (const Half& h : g.neighbors(v)) {
         const NodeId u = h.to;
-        const bool same = (sep_lbl[u] == sep_lbl[v] && sep_bot[u] == sep_bot[v] &&
-                           lead_lbl[u] == lead_lbl[v]);
-        const bool via_cut = bct.decomp.is_cut[u] && draws[u] && !sep_bot[v] &&
-                             sep_lbl[v] == frag[u];
-        if (!same && !via_cut) stage1.node_accepts[v] = 0;
+        const bool same =
+            (sep_d[u] == sep_d[v] && bot_d[u] == bot_d[v] && lead_d[u] == lead_d[v]);
+        const bool via_cut =
+            bct.decomp.is_cut[u] && draws[u] && !bot_d[v] && sep_d[v] == frag_d[u];
+        verdict.require(same || via_cut);
       }
+      return true;
     });
+    stage1.node_accepts = accepts_from_reasons(stage1.node_reasons);
     // Leaders check the separating fragment across the closing edge e_C.
     for (int b = 0; b < nblocks; ++b) {
       const NodeId lead = leader_of[b];
       if (lead == -1 || bct.separating_node[b] == -1) continue;
-      if (frag[bct.separating_node[b]] != sep_lbl[lead]) stage1.node_accepts[lead] = 0;
+      if (frag_d[bct.separating_node[b]] != sep_d[lead]) stage1.reject(lead);
     }
   }
 
@@ -184,13 +216,13 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
     commit.coin_bits.assign(n, 0);
     commit.rounds = 1;
     result = compose_parallel(result, commit);
-    result = compose_parallel(result, verify_spanning_tree(g, parent, reps, rng));
+    result = compose_parallel(result, verify_spanning_tree(g, parent, reps, rng, faults));
     if (!structure_ok) {
       // The prover failed to exhibit the required structure at some block;
       // that block's members reject outright.
       for (int b = 0; b < nblocks; ++b) {
         if (!block_has_path[b]) {
-          for (NodeId v : bct.decomp.component_nodes[b]) result.node_accepts[v] = 0;
+          for (NodeId v : bct.decomp.component_nodes[b]) result.reject(v);
         }
       }
     }
@@ -208,14 +240,14 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
       for (NodeId v : block_path[b]) order.push_back(sub.orig_to_node[v]);
       sub_inst.prover_order = std::move(order);
     }
-    const StageResult sr = path_outerplanarity_stage(sub_inst, {params.c}, rng);
+    const StageResult sr = path_outerplanarity_stage(sub_inst, {params.c}, rng, faults);
     // Map accounting and decisions back; the separating node's labels are
     // deferred to its neighbors inside the block.
     const NodeId sep = bct.separating_node[b];
     for (NodeId w = 0; w < sub.graph.n(); ++w) {
       const NodeId host = sub.node_to_orig[w];
       if (!sr.node_accepts[w]) {
-        for (NodeId x : nodes) result.node_accepts[x] = 0;
+        for (NodeId x : nodes) result.reject(x, sr.reason(w));
       }
       if (host == sep) {
         for (const Half& h : sub.graph.neighbors(w)) {
@@ -232,7 +264,7 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
     }
     // Theorem 6.1: the path endpoints must be adjacent.
     if (!block_cycle_ok[b]) {
-      for (NodeId x : nodes) result.node_accepts[x] = 0;
+      for (NodeId x : nodes) result.reject(x);
     }
   }
 
@@ -240,14 +272,14 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
   return result;
 }
 
-Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params,
-                           Rng& rng) {
-  return finalize(outerplanarity_stage(inst, params, rng));
+Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params, Rng& rng,
+                           FaultInjector* faults) {
+  return finalize(outerplanarity_stage(inst, params, rng, faults));
 }
 
 Outcome run_biconnected_outerplanarity(const Graph& g,
                                        const std::optional<std::vector<NodeId>>& cycle,
-                                       const OpParams& params, Rng& rng) {
+                                       const OpParams& params, Rng& rng, FaultInjector* faults) {
   std::optional<std::vector<NodeId>> ham = cycle;
   if (!ham) ham = outerplanar_hamiltonian_cycle(g);
   PathOuterplanarityInstance sub;

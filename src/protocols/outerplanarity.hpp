@@ -31,6 +31,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct OuterplanarityInstance {
   const Graph* graph = nullptr;
   /// Per-block Hamiltonian-cycle certificates (host node ids) for blocks with
@@ -46,10 +48,14 @@ struct OpParams {
 
 inline constexpr int kOuterplanarityRounds = 5;
 
+/// `faults`, when non-null, corrupts every recorded transcript (the
+/// component-consistency labels/fragments and all sub-stage transcripts)
+/// between prover and verifier; the hardened decisions reject locally.
 StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpParams& params,
-                                 Rng& rng);
+                                 Rng& rng, FaultInjector* faults = nullptr);
 
-Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params, Rng& rng);
+Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params, Rng& rng,
+                           FaultInjector* faults = nullptr);
 
 /// Baseline (BFP24): one-round proof labeling scheme with Theta(log n) bits.
 Outcome run_outerplanarity_baseline_pls(const OuterplanarityInstance& inst);
@@ -59,6 +65,7 @@ Outcome run_outerplanarity_baseline_pls(const OuterplanarityInstance& inst);
 /// prover's Hamiltonian-cycle certificate (computed centrally if absent).
 Outcome run_biconnected_outerplanarity(const Graph& g,
                                        const std::optional<std::vector<NodeId>>& cycle,
-                                       const OpParams& params, Rng& rng);
+                                       const OpParams& params, Rng& rng,
+                                       FaultInjector* faults = nullptr);
 
 }  // namespace lrdip

@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dip/faults.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/outerplanar.hpp"
 #include "protocols/forest_encoding.hpp"
@@ -80,7 +81,7 @@ int po_repetitions(int n, int c) {
 }
 
 StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
-                                      const PoParams& params, Rng& rng) {
+                                      const PoParams& params, Rng& rng, FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -125,23 +126,58 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
     }
   }
 
+  // The forest codes are the structural commitment: they go through a store
+  // so the fault seam covers them, and every decision below runs on the
+  // decoded (possibly corrupted) codes — including the parent assignment the
+  // spanning-tree stage then certifies.
   const ForestEncoding enc = encode_forest(g, parent);
+  const int cb = std::max(1, enc.color_bits);
+  LabelStore clabels(g, /*rounds=*/1);
+  CoinStore ccoins(g, /*rounds=*/1);
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.reserve(3);
+    l.put(static_cast<std::uint64_t>(enc.code[v].c1), cb)
+        .put(static_cast<std::uint64_t>(enc.code[v].c2), cb)
+        .put_flag(enc.code[v].parity != 0);
+    clabels.assign_node(0, v, std::move(l));
+  }
+  if (faults != nullptr) faults->corrupt(clabels, ccoins);
+  std::vector<ForestCode> code_d(n);
+  std::vector<RejectReason> code_defect(n, RejectReason::none);
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    LocalVerdict verdict;
+    const Label& l = clabels.node_label(0, v);
+    expect_fields(l, 3, verdict);
+    code_d[v].c1 = static_cast<int>(read_or_reject(l, 0, cb, verdict, 0));
+    code_d[v].c2 = static_cast<int>(read_or_reject(l, 1, cb, verdict, 0));
+    code_d[v].parity = flag_or_reject(l, 2, verdict) ? 1 : 0;
+    code_defect[v] = verdict.reason();
+  });
+
   StageResult commit;
-  commit.node_accepts.assign(n, 1);
   commit.node_bits.assign(n, enc.bits_per_node());
   commit.coin_bits.assign(n, 0);
   commit.rounds = 1;
-  // Local checks on the encoding: unambiguous parent, at most one child, and
-  // the decoded structure is what the spanning-tree stage certifies.
+  // Local checks on the decoded encoding: unambiguous parent, at most one
+  // child, and the decoded structure is what the spanning-tree stage
+  // certifies.
   std::vector<NodeId> decoded_parent(n, -1);
-  auto code_of = [&](NodeId u) { return enc.code[u]; };
-  for (NodeId v = 0; v < n; ++v) {
-    if (forest_parent_ambiguous(g, v, code_of)) commit.node_accepts[v] = 0;
+  auto code_of = [&](NodeId u) { return code_d[u]; };
+  parallel_for(n, [&](std::int64_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
     decoded_parent[v] = decode_forest_parent(g, v, code_of);
-    if (decode_forest_children(g, v, code_of).size() > 1) commit.node_accepts[v] = 0;
-  }
+  });
+  commit.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    verdict.reject(code_defect[v]);
+    verdict.require(!forest_parent_ambiguous(g, v, code_of));
+    verdict.require(decode_forest_children(g, v, code_of).size() <= 1);
+    return true;
+  });
+  commit.node_accepts = accepts_from_reasons(commit.node_reasons);
   const int reps = po_repetitions(n, params.c);
-  StageResult st = verify_spanning_tree(g, decoded_parent, reps, rng);
+  StageResult st = verify_spanning_tree(g, decoded_parent, reps, rng, faults);
   StageResult result = compose_parallel(commit, st);
 
   // --- Stages B and C need a committed Hamiltonian path to run on; without
@@ -157,16 +193,16 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
       const auto [u, v] = g.endpoints(e);
       lr.tail[e] = pos[u] < pos[v] ? u : v;  // truthful orientation labels
     }
-    result = compose_parallel(result, lr_sorting_stage(lr, {params.c}, rng));
-    result = compose_parallel(result, nesting_stage(g, order, params.c, rng));
+    result = compose_parallel(result, lr_sorting_stage(lr, {params.c}, rng, nullptr, faults));
+    result = compose_parallel(result, nesting_stage(g, order, params.c, rng, faults));
   }
   result.rounds = std::max(result.rounds, kPathOuterplanarityRounds);
   return result;
 }
 
 Outcome run_path_outerplanarity(const PathOuterplanarityInstance& inst, const PoParams& params,
-                                Rng& rng) {
-  return finalize(path_outerplanarity_stage(inst, params, rng));
+                                Rng& rng, FaultInjector* faults) {
+  return finalize(path_outerplanarity_stage(inst, params, rng, faults));
 }
 
 Outcome run_path_outerplanarity_baseline_pls(const PathOuterplanarityInstance& inst) {

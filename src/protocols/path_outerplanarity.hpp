@@ -33,6 +33,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct PathOuterplanarityInstance {
   const Graph* graph = nullptr;
   /// The Hamiltonian path the prover commits to: the generator certificate on
@@ -48,11 +50,15 @@ struct PoParams {
 
 inline constexpr int kPathOuterplanarityRounds = 5;
 
+/// `faults`, when non-null, corrupts every recorded transcript (the forest
+/// codes of the path commitment and all sub-stage transcripts) between prover
+/// and verifier; the hardened decisions reject locally, never throw.
 StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
-                                      const PoParams& params, Rng& rng);
+                                      const PoParams& params, Rng& rng,
+                                      FaultInjector* faults = nullptr);
 
 Outcome run_path_outerplanarity(const PathOuterplanarityInstance& inst, const PoParams& params,
-                                Rng& rng);
+                                Rng& rng, FaultInjector* faults = nullptr);
 
 /// Baseline (FFM+21-style): one-round proof labeling scheme with Theta(log n)
 /// bits — positions of the path plus positions of the covering edge per node.

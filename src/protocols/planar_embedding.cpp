@@ -214,7 +214,7 @@ std::vector<char> corner_order_checks(const Graph& g, const RotationSystem& rot,
 }
 
 StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const PeParams& params,
-                                   Rng& rng) {
+                                   Rng& rng, FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const RotationSystem& rot = *inst.rotation;
   const int n = g.n();
@@ -229,8 +229,8 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
   result.node_bits.assign(n, enc.bits_per_node());
   result.coin_bits.assign(n, 0);
   result.rounds = 1;
-  result = compose_parallel(result,
-                            verify_spanning_tree(g, tree.parent, po_repetitions(n, params.c), rng));
+  result = compose_parallel(result, verify_spanning_tree(g, tree.parent,
+                                                         po_repetitions(n, params.c), rng, faults));
 
   // --- Reduce to path-outerplanarity on h(G, T, rho).
   const EulerExpansion exp =
@@ -242,13 +242,13 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
     const std::vector<char> corner_ok =
         corner_order_checks(g, rot, tree.parent, tree.parent_edge, exp);
     for (NodeId v = 0; v < n; ++v) {
-      if (!corner_ok[v]) result.node_accepts[v] = 0;
+      if (!corner_ok[v]) result.reject(v);
     }
   }
   PathOuterplanarityInstance sub;
   sub.graph = &exp.h;
   sub.prover_order = exp.path;
-  const StageResult sr = path_outerplanarity_stage(sub, {params.c}, rng);
+  const StageResult sr = path_outerplanarity_stage(sub, {params.c}, rng, faults);
 
   // --- Map decisions and accounting back to the original nodes.
   // Copy x_i(v) (i >= 1) is simulated by child c_i(v) = the owner of the copy
@@ -268,7 +268,8 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
     for (NodeId c : dup) {
       result.node_bits[v] += sr.node_bits[c];
     }
-    if (!sr.node_accepts[x0] || !sr.node_accepts[xk]) result.node_accepts[v] = 0;
+    if (!sr.node_accepts[x0]) result.reject(v, sr.reason(x0));
+    if (!sr.node_accepts[xk]) result.reject(v, sr.reason(xk));
   }
   for (int c = 0; c < exp.h.n(); ++c) {
     const NodeId owner = exp.copy_owner[c];
@@ -278,7 +279,7 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
     const NodeId carrier = exp.copy_owner[exp.path[path_pos[c] - 1]];
     result.node_bits[carrier] += sr.node_bits[c];
     result.coin_bits[carrier] += sr.coin_bits[c];
-    if (!sr.node_accepts[c]) result.node_accepts[carrier] = 0;
+    if (!sr.node_accepts[c]) result.reject(carrier, sr.reason(c));
   }
   for (NodeId v = 0; v < n; ++v) {
     // x_0(v)'s coins are v's own.
@@ -290,11 +291,12 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
 }
 
 Outcome run_planar_embedding(const PlanarEmbeddingInstance& inst, const PeParams& params,
-                             Rng& rng) {
-  return finalize(planar_embedding_stage(inst, params, rng));
+                             Rng& rng, FaultInjector* faults) {
+  return finalize(planar_embedding_stage(inst, params, rng, faults));
 }
 
-Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng) {
+Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
+                      FaultInjector* faults) {
   const Graph& g = *inst.graph;
   // The prover picks (or fabricates) a rotation system.
   RotationSystem rot;
@@ -327,7 +329,7 @@ Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng
   }
 
   PlanarEmbeddingInstance pe{&g, &rot};
-  const StageResult sr = planar_embedding_stage(pe, params, rng);
+  const StageResult sr = planar_embedding_stage(pe, params, rng, faults);
   return finalize(compose_parallel(ship, sr));
 }
 

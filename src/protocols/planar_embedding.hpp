@@ -28,6 +28,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct PlanarEmbeddingInstance {
   const Graph* graph = nullptr;
   const RotationSystem* rotation = nullptr;
@@ -39,11 +41,14 @@ struct PeParams {
 
 inline constexpr int kPlanarEmbeddingRounds = 5;
 
+/// `faults`, when non-null, corrupts every recorded transcript (the spanning-
+/// tree commitment and the embedded path-outerplanarity sub-protocol) between
+/// prover and verifier; the hardened decisions reject locally, never throw.
 StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const PeParams& params,
-                                   Rng& rng);
+                                   Rng& rng, FaultInjector* faults = nullptr);
 
 Outcome run_planar_embedding(const PlanarEmbeddingInstance& inst, const PeParams& params,
-                             Rng& rng);
+                             Rng& rng, FaultInjector* faults = nullptr);
 
 /// The h(G, T, rho) construction (exposed for tests / the anatomy example).
 struct EulerExpansion {
@@ -79,7 +84,8 @@ struct PlanarityInstance {
   const RotationSystem* certificate = nullptr;
 };
 
-Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng);
+Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
+                      FaultInjector* faults = nullptr);
 
 /// Baseline (FFM+21): one-round proof labeling scheme with Theta(log n) bits.
 Outcome run_planarity_baseline_pls(const PlanarityInstance& inst);

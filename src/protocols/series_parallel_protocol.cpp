@@ -68,6 +68,7 @@ std::optional<EarDecomposition> committed_ears(const Graph& g,
 StageResult reject_all(const Graph& g, int bits_estimate) {
   StageResult s;
   s.node_accepts.assign(g.n(), 0);
+  s.node_reasons.assign(g.n(), RejectReason::check_failed);
   s.node_bits.assign(g.n(), bits_estimate);
   s.coin_bits.assign(g.n(), 0);
   s.rounds = kSeriesParallelRounds;
@@ -77,7 +78,8 @@ StageResult reject_all(const Graph& g, int bits_estimate) {
 }  // namespace
 
 StageResult series_parallel_stage(const SeriesParallelInstance& inst,
-                                  const SpProtocolParams& params, Rng& rng) {
+                                  const SpProtocolParams& params, Rng& rng,
+                                  FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -136,15 +138,15 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
       parent[cur] = prev;
     }
     if (!chain_ok) {
-      for (NodeId v : subear[j]) result.node_accepts[v] = 0;
+      for (NodeId v : subear[j]) result.reject(v);
       continue;
     }
-    const StageResult st = verify_spanning_tree(sub.graph, parent, reps, rng);
+    const StageResult st = verify_spanning_tree(sub.graph, parent, reps, rng, faults);
     for (NodeId w = 0; w < sub.graph.n(); ++w) {
       const NodeId host = sub.node_to_orig[w];
       result.node_bits[host] += st.node_bits[w];
       result.coin_bits[host] += st.coin_bits[w];
-      if (!st.node_accepts[w]) result.node_accepts[host] = 0;
+      if (!st.node_accepts[w]) result.reject(host, st.reason(w));
     }
   }
 
@@ -161,7 +163,7 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
     const int host = ears[j].host;
     if (host < 0 || host >= j || !ear_nodes[host].count(ears[j].path.front()) ||
         !ear_nodes[host].count(ears[j].path.back())) {
-      for (NodeId v : ears[j].path) result.node_accepts[v] = 0;
+      for (NodeId v : ears[j].path) result.reject(v);
     }
   }
 
@@ -202,8 +204,8 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
     lr.order = order;
     lr.tail.resize(hi.m());
     for (EdgeId e = 0; e < hi.m(); ++e) lr.tail[e] = std::min(hi.endpoints(e).first, hi.endpoints(e).second);
-    StageResult sr = lr_sorting_stage(lr, {params.c}, rng);
-    sr = compose_parallel(sr, nesting_stage(hi, order, params.c, rng));
+    StageResult sr = lr_sorting_stage(lr, {params.c}, rng, nullptr, faults);
+    sr = compose_parallel(sr, nesting_stage(hi, order, params.c, rng, faults));
     // Map back: interiors carry their own copy; the ear's endpoints' labels
     // ride on the adjacent interiors (or stay on the endpoints for the first
     // ear, whose "endpoints" are its own interior nodes).
@@ -217,7 +219,7 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
       }
       result.node_bits[host_node] += sr.node_bits[w];
       result.coin_bits[host_node] += sr.coin_bits[w];
-      if (!sr.node_accepts[w]) result.node_accepts[path[w]] = 0;
+      if (!sr.node_accepts[w]) result.reject(path[w], sr.reason(w));
     }
     // Arc labels relayed through the attached ears' interiors.
     for (const auto& relay : relays) {
@@ -230,8 +232,8 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
 }
 
 Outcome run_series_parallel(const SeriesParallelInstance& inst, const SpProtocolParams& params,
-                            Rng& rng) {
-  return finalize(series_parallel_stage(inst, params, rng));
+                            Rng& rng, FaultInjector* faults) {
+  return finalize(series_parallel_stage(inst, params, rng, faults));
 }
 
 Outcome run_series_parallel_baseline_pls(const SeriesParallelInstance& inst) {
@@ -245,7 +247,8 @@ Outcome run_series_parallel_baseline_pls(const SeriesParallelInstance& inst) {
   return o;
 }
 
-Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng) {
+Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
+                       FaultInjector* faults) {
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -260,8 +263,8 @@ Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& p
   result.node_bits.assign(n, enc.bits_per_node() + 4);
   result.coin_bits.assign(n, 0);
   result.rounds = 1;
-  result = compose_parallel(result,
-                            verify_spanning_tree(g, tree.parent, po_repetitions(n, params.c), rng));
+  result = compose_parallel(result, verify_spanning_tree(g, tree.parent,
+                                                         po_repetitions(n, params.c), rng, faults));
 
   // Per-block series-parallel stage.
   for (int b = 0; b < bct.decomp.num_components(); ++b) {
@@ -286,12 +289,12 @@ Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& p
         break;
       }
     }
-    const StageResult sr = series_parallel_stage(si, params, rng);
+    const StageResult sr = series_parallel_stage(si, params, rng, faults);
     for (NodeId w = 0; w < sub.graph.n(); ++w) {
       const NodeId host = sub.node_to_orig[w];
       result.node_bits[host] += sr.node_bits[w];
       result.coin_bits[host] += sr.coin_bits[w];
-      if (!sr.node_accepts[w]) result.node_accepts[host] = 0;
+      if (!sr.node_accepts[w]) result.reject(host, sr.reason(w));
     }
   }
   result.rounds = std::max(result.rounds, kSeriesParallelRounds);

@@ -31,6 +31,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 struct SeriesParallelInstance {
   const Graph* graph = nullptr;
   /// Certificate for yes-instances. If absent the prover runs the centralized
@@ -45,11 +47,15 @@ struct SpProtocolParams {
 
 inline constexpr int kSeriesParallelRounds = 5;
 
+/// `faults`, when non-null, corrupts every recorded transcript (the per-sub-
+/// ear spanning-tree chains and the per-host-ear LR-sorting/nesting stages)
+/// between prover and verifier; the hardened decisions reject locally.
 StageResult series_parallel_stage(const SeriesParallelInstance& inst,
-                                  const SpProtocolParams& params, Rng& rng);
+                                  const SpProtocolParams& params, Rng& rng,
+                                  FaultInjector* faults = nullptr);
 
 Outcome run_series_parallel(const SeriesParallelInstance& inst, const SpProtocolParams& params,
-                            Rng& rng);
+                            Rng& rng, FaultInjector* faults = nullptr);
 
 /// Baseline: one-round Theta(log n) PLS (ear decomposition with explicit ids
 /// and positions).
@@ -63,7 +69,8 @@ struct Treewidth2Instance {
   std::optional<std::vector<EarDecomposition>> block_ears;
 };
 
-Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng);
+Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
+                       FaultInjector* faults = nullptr);
 
 Outcome run_treewidth2_baseline_pls(const Treewidth2Instance& inst);
 

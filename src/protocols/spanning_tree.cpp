@@ -2,12 +2,16 @@
 
 #include <deque>
 
+#include "dip/faults.hpp"
+#include "dip/store.hpp"
+#include "protocols/spanning_tree_labeled.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
 
 StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& claimed_parent,
-                                 int repetitions, Rng& rng) {
+                                 int repetitions, Rng& rng, FaultInjector* faults) {
+  using L = StLabeledLayout;
   const int n = g.n();
   const int k = repetitions;
   LRDIP_CHECK(k >= 1 && k <= 64);
@@ -20,18 +24,39 @@ StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& clai
   }
   const std::uint64_t mask = (k == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
 
-  // --- Round 2 (verifier): rho_v everywhere; nonce at claimed roots.
+  // The transcript is recorded in stores so a fault injector can corrupt it
+  // in transit; accounting stays analytic (the stores are the wire, not the
+  // cost model). Layout matches the executable spec in
+  // protocols/spanning_tree_labeled.hpp, whose decision function is reused.
+  LabelStore labels(g, /*rounds=*/3);
+  CoinStore coins(g, /*rounds=*/3);
+
+  // --- Round 1 (prover): the structural commitment (root flags).
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.reserve(1);
+    l.put_flag(claimed_parent[v] == -1);
+    labels.assign_node(L::kRoundStructure, v, std::move(l));
+  }
+
+  // --- Round 2 (verifier): rho_v everywhere; nonce at claimed roots. The
+  // historical rng stream (masked raw words) is kept and mirrored into the
+  // coin store.
   std::vector<std::uint64_t> rho(n), nonce(n, 0);
   std::vector<int> coin_bits(n, 0);
   std::vector<NodeId> roots;
   for (NodeId v = 0; v < n; ++v) {
     rho[v] = rng.next_u64() & mask;
     coin_bits[v] += k;
+    std::uint64_t drawn[2] = {rho[v], 0};
+    int drawn_count = 1;
     if (claimed_parent[v] == -1) {
       nonce[v] = rng.next_u64() & mask;
       coin_bits[v] += k;
       roots.push_back(v);
+      drawn[drawn_count++] = nonce[v];
     }
+    coins.record(L::kRoundCoins, v, {drawn, static_cast<std::size_t>(drawn_count)}, k);
   }
 
   // --- Round 3 (prover, best effort): X values + a global nonce echo.
@@ -88,22 +113,30 @@ StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& clai
   }
   const std::uint64_t echoed = roots.empty() ? 0 : nonce[roots.front()];
 
-  // --- Decision.
+  // --- Round 3 (prover): the response labels hit the wire.
+  for (NodeId v = 0; v < n; ++v) {
+    Label l;
+    l.reserve(2);
+    l.put(x[v], k).put(echoed, k);
+    labels.assign_node(L::kRoundResponse, v, std::move(l));
+  }
+
+  // --- Byzantine seam: corrupt the recorded transcript in transit.
+  if (faults != nullptr) faults->corrupt(labels, coins);
+
+  // --- Decision: the executable-spec checks (X recurrence, neighbor-equal
+  // nonce echo, root flag/nonce match) over checked reads — any structural
+  // defect is a local reject with a reason, never an exception.
   StageResult out;
-  out.node_accepts.assign(n, 1);
   out.node_bits.assign(n, 2 * k);  // X value + nonce copy
   out.coin_bits = std::move(coin_bits);
   out.rounds = 3;
-  out.node_accepts = decide_nodes(n, [&](NodeId v) {
-    std::uint64_t acc = rho[v];
-    for (NodeId c : children[v]) acc ^= x[c];
-    if (x[v] != acc) return false;
-    if (claimed_parent[v] == -1 && echoed != nonce[v]) return false;
-    // Nonce echoes are identical by construction (the prover sends one value);
-    // a prover sending different values would be caught by this check:
-    // neighbors compare copies — omitted arithmetic since copies are equal.
-    return true;
+  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    const NodeView view(labels, coins, v);
+    verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
+    return true;  // failures recorded in the verdict
   });
+  out.node_accepts = accepts_from_reasons(out.node_reasons);
   return out;
 }
 

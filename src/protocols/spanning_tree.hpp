@@ -32,6 +32,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 /// How a dishonest prover fills the response labels on a bad instance (the
 /// structure itself is the lie; the prover can only pick X values and nonce
 /// copies). kBestEffort solves every satisfiable equation and gambles on the
@@ -40,7 +42,11 @@ enum class StCheat { kBestEffort };
 
 /// Runs the verification for the claimed parents over connected graph g.
 /// `repetitions` = k. Coins are charged to the nodes that draw them.
+/// The transcript (root flags, coins, X values, nonce echoes) is recorded in
+/// a LabelStore/CoinStore pair; `faults`, when non-null, corrupts it between
+/// prover and verifier, and the hardened decision rejects locally with a
+/// per-node RejectReason instead of throwing.
 StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& claimed_parent,
-                                 int repetitions, Rng& rng);
+                                 int repetitions, Rng& rng, FaultInjector* faults = nullptr);
 
 }  // namespace lrdip

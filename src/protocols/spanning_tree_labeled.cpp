@@ -2,43 +2,55 @@
 
 #include <deque>
 
+#include "dip/faults.hpp"
 #include "protocols/stage.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
 
-bool st_labeled_node_decision(const NodeView& view, NodeId claimed_parent,
-                              const std::vector<NodeId>& claimed_children) {
+RejectReason st_labeled_node_verdict(const NodeView& view, NodeId claimed_parent,
+                                     const std::vector<NodeId>& claimed_children,
+                                     int expected_bits) {
   using L = StLabeledLayout;
+  LocalVerdict verdict;
   const Label& mine = view.own(L::kRoundResponse);
-  const std::uint64_t x = mine.get(L::kFieldX);
-  const std::uint64_t echo = mine.get(L::kFieldNonceEcho);
+  expect_fields(mine, 2, verdict);
+  const std::uint64_t x = read_or_reject(mine, L::kFieldX, expected_bits, verdict);
+  const std::uint64_t echo = read_or_reject(mine, L::kFieldNonceEcho, expected_bits, verdict);
 
   // X recurrence: X(v) = rho_v XOR (XOR over children's X).
-  std::uint64_t acc = view.own_coins(L::kRoundCoins)[0];
+  std::uint64_t acc = view.read_coin(L::kRoundCoins, 0, verdict);
   for (NodeId c : claimed_children) {
-    acc ^= view.of_neighbor(L::kRoundResponse, c).get(L::kFieldX);
+    acc ^= view.read_neighbor(L::kRoundResponse, c, L::kFieldX, expected_bits, verdict);
   }
-  if (x != acc) return false;
+  verdict.require(x == acc);
 
   // Nonce echo: equal across every neighbor; roots additionally match their
   // own draw.
   for (const Half& h : view.neighbors()) {
-    if (view.of_neighbor(L::kRoundResponse, h.to).get(L::kFieldNonceEcho) != echo) return false;
+    verdict.require(
+        view.read_neighbor(L::kRoundResponse, h.to, L::kFieldNonceEcho, expected_bits, verdict) ==
+        echo);
   }
+  const Label& structure = view.own(L::kRoundStructure);
+  expect_fields(structure, 1, verdict);
+  const bool root_flag = flag_or_reject(structure, L::kFieldRootFlag, verdict);
   if (claimed_parent == -1) {
-    const auto coins = view.own_coins(L::kRoundCoins);
-    LRDIP_CHECK(coins.size() == 2);  // rho + nonce
-    if (echo != coins[1]) return false;
-    if (!view.own(L::kRoundStructure).get_flag(L::kFieldRootFlag)) return false;
+    verdict.require(echo == view.read_coin(L::kRoundCoins, 1, verdict));
+    verdict.require(root_flag);
   } else {
-    if (view.own(L::kRoundStructure).get_flag(L::kFieldRootFlag)) return false;
+    verdict.require(!root_flag);
   }
-  return true;
+  return verdict.reason();
+}
+
+bool st_labeled_node_decision(const NodeView& view, NodeId claimed_parent,
+                              const std::vector<NodeId>& claimed_children) {
+  return st_labeled_node_verdict(view, claimed_parent, claimed_children) == RejectReason::none;
 }
 
 Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& claimed_parent,
-                                     int repetitions, Rng& rng) {
+                                     int repetitions, Rng& rng, FaultInjector* faults) {
   using L = StLabeledLayout;
   const int n = g.n();
   const int k = repetitions;
@@ -128,21 +140,16 @@ Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& 
     labels.assign_node(L::kRoundResponse, v, std::move(l));
   }
 
-  // --- Decision through NodeViews only (one per node, in parallel).
-  const std::vector<char> accepts = decide_nodes(n, [&](NodeId v) {
-    const NodeView view(labels, coins, v);
-    return st_labeled_node_decision(view, claimed_parent[v], children[v]);
-  });
-  bool all = true;
-  for (char a : accepts) all = all && a;
+  // --- Byzantine seam: corrupt the recorded transcript in transit.
+  if (faults != nullptr) faults->corrupt(labels, coins);
 
-  Outcome o;
-  o.accepted = all;
-  o.rounds = 3;
-  o.proof_size_bits = labels.proof_size_bits();
-  o.total_label_bits = labels.total_label_bits();
-  o.max_coin_bits = coins.max_coin_bits();
-  return o;
+  // --- Decision through NodeViews only (one per node, in parallel).
+  std::vector<RejectReason> reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+    const NodeView view(labels, coins, v);
+    verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
+    return true;  // all failures already recorded in the verdict
+  });
+  return finalize(stage_from_stores(labels, coins, std::move(reasons), /*rounds=*/3));
 }
 
 }  // namespace lrdip

@@ -19,6 +19,8 @@
 
 namespace lrdip {
 
+class FaultInjector;
+
 /// Label/field layout of the protocol (exposed for tests).
 struct StLabeledLayout {
   static constexpr int kRoundStructure = 0;  // prover: root flag
@@ -31,12 +33,23 @@ struct StLabeledLayout {
 
 /// Runs the protocol over the stores and returns the outcome. `children` must
 /// be the claimed-parent-derived lists (each node's local knowledge from the
-/// Lemma 2.3 decode).
+/// Lemma 2.3 decode). When `faults` is non-null it corrupts the recorded
+/// transcript between prover and verifier; the decision then rejects locally,
+/// it never throws.
 Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& claimed_parent,
-                                     int repetitions, Rng& rng);
+                                     int repetitions, Rng& rng, FaultInjector* faults = nullptr);
 
-/// The per-node decision function, usable directly against externally built
-/// stores (exercised by the framework tests).
+/// The per-node decision with reject-reason classification: every structural
+/// defect of the transcript at v maps to a reason, semantic failures to
+/// check_failed. `expected_bits` is the protocol width k of the response
+/// fields (< 0 skips width enforcement). Reading a non-neighbor still throws
+/// (verifier-code misuse, not prover behavior).
+RejectReason st_labeled_node_verdict(const NodeView& view, NodeId claimed_parent,
+                                     const std::vector<NodeId>& claimed_children,
+                                     int expected_bits = -1);
+
+/// Boolean convenience wrapper over st_labeled_node_verdict (exercised by the
+/// framework tests).
 bool st_labeled_node_decision(const NodeView& view, NodeId claimed_parent,
                               const std::vector<NodeId>& claimed_children);
 

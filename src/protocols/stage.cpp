@@ -22,10 +22,16 @@ StageResult compose_parallel(const StageResult& a, const StageResult& b) {
   out.node_accepts.resize(n);
   out.node_bits.resize(n);
   out.coin_bits.resize(n);
+  const bool reasons = !a.node_reasons.empty() || !b.node_reasons.empty();
+  if (reasons) out.node_reasons.assign(n, RejectReason::none);
   for (std::size_t v = 0; v < n; ++v) {
     out.node_accepts[v] = a.node_accepts[v] && b.node_accepts[v];
     out.node_bits[v] = a.node_bits[v] + b.node_bits[v];
     out.coin_bits[v] = a.coin_bits[v] + b.coin_bits[v];
+    if (reasons) {
+      out.node_reasons[v] =
+          worse_reason(a.reason(static_cast<NodeId>(v)), b.reason(static_cast<NodeId>(v)));
+    }
   }
   out.rounds = std::max(a.rounds, b.rounds);
   return out;
@@ -39,6 +45,21 @@ Outcome finalize(const StageResult& s) {
   o.total_label_bits = 0;
   for (int b : s.node_bits) o.total_label_bits += b;
   o.max_coin_bits = s.coin_bits.empty() ? 0 : *std::max_element(s.coin_bits.begin(), s.coin_bits.end());
+  // Dominant reject reason: most frequent non-none reason among rejecting
+  // nodes; ties go to the more structural (higher-severity) defect.
+  if (!o.accepted) {
+    int hist[5] = {0, 0, 0, 0, 0};
+    for (std::size_t v = 0; v < s.node_accepts.size(); ++v) {
+      if (s.node_accepts[v]) continue;
+      ++o.rejected_nodes;
+      ++hist[static_cast<int>(s.reason(static_cast<NodeId>(v)))];
+    }
+    int best = static_cast<int>(RejectReason::check_failed);
+    for (int r = best + 1; r < 5; ++r) {
+      if (hist[r] >= hist[best]) best = r;
+    }
+    o.reject_reason = hist[best] > 0 ? static_cast<RejectReason>(best) : RejectReason::check_failed;
+  }
   return o;
 }
 
@@ -50,6 +71,25 @@ StageResult stage_from_stores(const LabelStore& labels, const CoinStore& coins,
   s.coin_bits = coins.coin_bits();
   s.rounds = rounds;
   return s;
+}
+
+StageResult stage_from_stores(const LabelStore& labels, const CoinStore& coins,
+                              std::vector<RejectReason> reasons, int rounds) {
+  StageResult s;
+  s.node_accepts = accepts_from_reasons(reasons);
+  s.node_reasons = std::move(reasons);
+  s.node_bits = labels.charged_bits();
+  s.coin_bits = coins.coin_bits();
+  s.rounds = rounds;
+  return s;
+}
+
+std::vector<char> accepts_from_reasons(const std::vector<RejectReason>& reasons) {
+  std::vector<char> accepts(reasons.size(), 1);
+  for (std::size_t v = 0; v < reasons.size(); ++v) {
+    if (reasons[v] != RejectReason::none) accepts[v] = 0;
+  }
+  return accepts;
 }
 
 }  // namespace lrdip

@@ -3,6 +3,7 @@
 #include "support/check.hpp"
 #include "dip/label.hpp"
 #include "dip/store.hpp"
+#include "dip/verdict.hpp"
 #include "gen/generators.hpp"
 #include "support/rng.hpp"
 
@@ -29,6 +30,85 @@ TEST(Label, OutOfRangeField) {
   Label l;
   l.put(1, 1);
   EXPECT_THROW(l.get(1), InvariantError);
+}
+
+TEST(Label, ReserveAndFieldCapMisuse) {
+  Label l;
+  EXPECT_NO_THROW(l.reserve(Label::kMaxFields));
+  EXPECT_THROW(l.reserve(Label::kMaxFields + 1), InvariantError);
+  for (std::size_t i = 0; i < Label::kMaxFields; ++i) l.put(1, 1);
+  EXPECT_THROW(l.put(1, 1), InvariantError);  // inline storage is full
+  EXPECT_THROW(l.put(1, 65), InvariantError);
+}
+
+TEST(Label, TryGetNeverThrows) {
+  Label l;
+  l.put(5, 3).put_flag(true);
+  EXPECT_EQ(l.try_get(0, 3), std::optional<std::uint64_t>{5});
+  EXPECT_EQ(l.try_get(0), std::optional<std::uint64_t>{5});  // any width
+  EXPECT_FALSE(l.try_get(0, 4).has_value());                 // width mismatch
+  EXPECT_FALSE(l.try_get(2).has_value());                    // absent field
+  l.forge_width(0, 2);  // value 5 now escapes its declared width
+  EXPECT_FALSE(l.try_get(0).has_value());
+  l.forge_width(0, 0);  // width outside [1, 64]
+  EXPECT_FALSE(l.try_get(0).has_value());
+}
+
+TEST(Label, ForgeMutatorsAreNoThrow) {
+  Label l;
+  l.put(3, 2).put(7, 3);
+  l.forge_value(0, 0xffff);  // out of width, by design
+  EXPECT_FALSE(l.try_get(0).has_value());
+  l.forge_erase(0);
+  EXPECT_EQ(l.num_fields(), 1u);
+  EXPECT_EQ(l.try_get(0, 3), std::optional<std::uint64_t>{7});
+  l.forge_append(1, 200);  // junk width
+  EXPECT_EQ(l.num_fields(), 2u);
+  // Past-the-end targets are silent no-ops, not exceptions.
+  const std::size_t past = l.num_fields();
+  EXPECT_NO_THROW(l.forge_value(past, 1));
+  EXPECT_NO_THROW(l.forge_width(past, 1));
+  EXPECT_NO_THROW(l.forge_erase(past));
+  EXPECT_EQ(l.num_fields(), past);
+  l.clear();
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.bit_size(), 0);
+}
+
+TEST(ReadOrReject, ClassifiesDefects) {
+  LocalVerdict v;
+  Label empty;
+  EXPECT_EQ(read_or_reject(empty, 0, 3, v, 9), 9u);
+  EXPECT_EQ(v.reason(), RejectReason::missing_label);
+
+  LocalVerdict v2;
+  Label l;
+  l.put(5, 3);
+  EXPECT_EQ(read_or_reject(l, 1, 3, v2), 0u);  // absent field
+  EXPECT_EQ(v2.reason(), RejectReason::malformed_label);
+
+  LocalVerdict v3;
+  EXPECT_EQ(read_or_reject(l, 0, 4, v3), 0u);  // width mismatch
+  EXPECT_EQ(v3.reason(), RejectReason::width_mismatch);
+
+  LocalVerdict v4;
+  l.forge_value(0, 0xff);  // escapes the declared 3-bit width
+  EXPECT_EQ(read_or_reject(l, 0, 3, v4), 0u);
+  EXPECT_EQ(v4.reason(), RejectReason::malformed_label);
+
+  LocalVerdict v5;
+  EXPECT_FALSE(expect_fields(l, 2, v5));
+  EXPECT_EQ(v5.reason(), RejectReason::malformed_label);
+  LocalVerdict v6;
+  EXPECT_FALSE(expect_fields(empty, 2, v6));
+  EXPECT_EQ(v6.reason(), RejectReason::missing_label);
+
+  // Severity ordering: structural defects dominate check_failed.
+  LocalVerdict v7;
+  v7.require(false);
+  v7.reject(RejectReason::missing_label);
+  v7.reject(RejectReason::check_failed);
+  EXPECT_EQ(v7.reason(), RejectReason::missing_label);
 }
 
 TEST(LabelStore, ChargesNodes) {
@@ -90,6 +170,51 @@ TEST(CoinStore, RecordsDraws) {
   EXPECT_EQ(coins.coins(0, 1).size(), 3u);
   EXPECT_EQ(coins.coin_bits()[1], 21);
   EXPECT_EQ(coins.max_coin_bits(), 21);
+}
+
+TEST(CoinStore, DoubleDrawRelocatesAndAppends) {
+  const Graph g = path_graph(3);
+  CoinStore coins(g, 1);
+  Rng rng(2);
+  coins.draw(0, 0, 2, 100, 7, rng);
+  const std::vector<std::uint64_t> first(coins.coins(0, 0).begin(), coins.coins(0, 0).end());
+  coins.draw(0, 1, 1, 100, 7, rng);  // interleaved slot forces relocation below
+  coins.draw(0, 0, 2, 100, 7, rng);  // second draw for the same (round, node)
+  const auto slot = coins.coins(0, 0);
+  ASSERT_EQ(slot.size(), 4u);  // contiguous: earlier coins relocated, not lost
+  EXPECT_EQ(slot[0], first[0]);
+  EXPECT_EQ(slot[1], first[1]);
+  EXPECT_EQ(coins.coin_bits()[0], 4 * 7);
+}
+
+TEST(CoinStore, WrongRoundReadsThrow) {
+  const Graph g = path_graph(2);
+  CoinStore coins(g, 1);
+  // Round indices outside [0, rounds) are caller misuse on the honest path —
+  // a library-contract violation, not prover behavior, so they throw.
+  EXPECT_THROW(coins.coins(1, 0), InvariantError);
+  EXPECT_THROW(coins.coins(-1, 0), InvariantError);
+  Rng rng(3);
+  EXPECT_THROW(coins.draw(1, 0, 1, 2, 1, rng), InvariantError);
+  const std::uint64_t v = 1;
+  EXPECT_THROW(coins.record(1, 0, {&v, 1}, 1), InvariantError);
+}
+
+TEST(NodeView, ReadCoinRejectsMissingSlot) {
+  const Graph g = path_graph(2);
+  LabelStore store(g, 1);
+  CoinStore coins(g, 1);
+  Rng rng(4);
+  coins.draw(0, 0, 1, 100, 7, rng);
+  NodeView view(store, coins, 0);
+  LocalVerdict ok;
+  EXPECT_LT(view.read_coin(0, 0, ok), 100u);
+  EXPECT_TRUE(ok.accepted());
+  // Reading past the recorded slot is a transcript defect (the wire did not
+  // carry that coin), so it rejects instead of throwing.
+  LocalVerdict bad;
+  EXPECT_EQ(view.read_coin(0, 5, bad, 42), 42u);
+  EXPECT_EQ(bad.reason(), RejectReason::missing_label);
 }
 
 }  // namespace
