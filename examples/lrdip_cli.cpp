@@ -24,6 +24,8 @@
 #include "dip/faults.hpp"
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
+#include "obs/emit.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/outerplanarity.hpp"
 #include "protocols/path_outerplanarity.hpp"
@@ -38,10 +40,10 @@ using namespace lrdip;
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T]\n"
+      "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
       "  lrdip gen <family> <n> <out-file> [--seed S]\n"
       "  lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]\n"
-      "        [--models m1,m2,...] [--seed S] [--c C] [--trials T]\n"
+      "        [--models m1,m2,...] [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
       "tasks:    lr-sorting path-outerplanar outerplanar embedding planarity\n"
       "          series-parallel treewidth2\n"
       "families: path-outerplanar outerplanar planar series-parallel\n"
@@ -55,6 +57,7 @@ struct Options {
   std::uint64_t seed = 1;
   int c = 3;
   int trials = 1;
+  std::string metrics;  // "", "json" or "csv"
   // faults subcommand only:
   double rate = 0.25;
   std::uint64_t fault_seed = 1;
@@ -97,6 +100,10 @@ Options parse_options(int argc, char** argv, int from) {
     } else if (a == "--models") {
       opt.models_arg = next();
       opt.models = parse_models(opt.models_arg);
+    } else if (a == "--metrics") {
+      opt.metrics = next();
+      LRDIP_CHECK_MSG(opt.metrics == "json" || opt.metrics == "csv",
+                      "--metrics expects json or csv");
     } else {
       throw InvariantError("unknown option: " + a);
     }
@@ -104,15 +111,38 @@ Options parse_options(int argc, char** argv, int from) {
   return opt;
 }
 
-void report(const std::string& task, const Outcome& o) {
-  std::cout << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED")
-            << "  rounds=" << o.rounds << "  proof_bits=" << o.proof_size_bits
-            << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits;
-  if (!o.accepted) {
-    std::cout << "  reject_reason=" << reject_reason_name(o.reject_reason)
-              << "  rejected_nodes=" << o.rejected_nodes;
+// RAII bracket for --metrics: turns the registry on for the protocol runs and
+// emits every completed run when the section closes (before the human-readable
+// summary lines, which go to stdout as well, would be easy to confuse with the
+// payload — so the structured block always comes first on its own).
+struct MeteredSection {
+  explicit MeteredSection(const Options& opt) : format(opt.metrics) {
+    if (format.empty()) return;
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().set_enabled(true);
   }
-  std::cout << "\n";
+  void flush(std::ostream& os) {
+    if (format.empty() || flushed) return;
+    flushed = true;
+    obs::MetricsRegistry::instance().set_enabled(false);
+    obs::emit_runs(os, obs::MetricsRegistry::instance().take_completed(), format);
+  }
+  ~MeteredSection() {
+    if (!format.empty() && !flushed) obs::MetricsRegistry::instance().set_enabled(false);
+  }
+  std::string format;
+  bool flushed = false;
+};
+
+void report(std::ostream& os, const std::string& task, const Outcome& o) {
+  os << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED")
+     << "  rounds=" << o.rounds << "  proof_bits=" << o.proof_size_bits
+     << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits;
+  if (!o.accepted) {
+    os << "  reject_reason=" << reject_reason_name(o.reject_reason)
+       << "  rejected_nodes=" << o.rejected_nodes;
+  }
+  os << "\n";
 }
 
 std::string repro_line(const std::string& sub, const std::string& task, const std::string& path,
@@ -162,20 +192,25 @@ Outcome run_once(const std::string& task, const GraphFile& gf, const Options& op
 int run_task(const std::string& task, const std::string& path, const Options& opt) {
   const GraphFile gf = read_graph_file(path);
   Rng rng(opt.seed);
+  MeteredSection metered(opt);
   int accepted = 0;
   Outcome last;
   for (int t = 0; t < opt.trials; ++t) {
     last = run_once(task, gf, opt, rng, nullptr);
     accepted += last.accepted ? 1 : 0;
   }
-  report(task, last);
+  metered.flush(std::cout);
+  // With --metrics, stdout carries only the structured payload; the human
+  // summary moves to stderr so pipelines can parse stdout directly.
+  std::ostream& os = opt.metrics.empty() ? std::cout : std::cerr;
+  report(os, task, last);
   if (opt.trials > 1) {
-    std::cout << "acceptance over " << opt.trials << " independent runs: " << accepted << "/"
-              << opt.trials << "\n";
+    os << "acceptance over " << opt.trials << " independent runs: " << accepted << "/"
+       << opt.trials << "\n";
   }
   if (!last.accepted) {
-    std::cout << "seed=" << opt.seed << "\n";
-    std::cout << "repro: " << repro_line("", task, path, opt) << "\n";
+    os << "seed=" << opt.seed << "\n";
+    os << "repro: " << repro_line("", task, path, opt) << "\n";
   }
   return last.accepted ? 0 : 1;
 }
@@ -183,6 +218,7 @@ int run_task(const std::string& task, const std::string& path, const Options& op
 int run_faults(const std::string& task, const std::string& path, const Options& opt) {
   const GraphFile gf = read_graph_file(path);
   Rng rng(opt.seed);
+  MeteredSection metered(opt);
   int rejected = 0;
   Outcome last;
   std::array<std::int64_t, kNumFaultModels> counts{};
@@ -196,19 +232,21 @@ int run_faults(const std::string& task, const std::string& path, const Options& 
     }
     total_faults += inj.total_faults();
   }
-  std::cout << "faults " << task << ": rate=" << opt.rate << " models=" << opt.models_arg
-            << " detected=" << rejected << "/" << opt.trials
-            << " injected=" << total_faults << "\n";
-  std::cout << "per-model injections:";
+  metered.flush(std::cout);
+  std::ostream& os = opt.metrics.empty() ? std::cout : std::cerr;
+  os << "faults " << task << ": rate=" << opt.rate << " models=" << opt.models_arg
+     << " detected=" << rejected << "/" << opt.trials
+     << " injected=" << total_faults << "\n";
+  os << "per-model injections:";
   for (int m = 0; m < kNumFaultModels; ++m) {
     if (counts[m] > 0) {
-      std::cout << " " << fault_model_name(static_cast<FaultModel>(m)) << "=" << counts[m];
+      os << " " << fault_model_name(static_cast<FaultModel>(m)) << "=" << counts[m];
     }
   }
-  std::cout << "\n";
-  report(task, last);
-  std::cout << "seed=" << opt.seed << " fault-seed=" << opt.fault_seed << "\n";
-  std::cout << "repro: " << repro_line("faults", task, path, opt) << "\n";
+  os << "\n";
+  report(os, task, last);
+  os << "seed=" << opt.seed << " fault-seed=" << opt.fault_seed << "\n";
+  os << "repro: " << repro_line("faults", task, path, opt) << "\n";
   // Exit 0 iff no crash escaped (rejection is the *expected* outcome here);
   // an exception would already have unwound to main's handler.
   return 0;

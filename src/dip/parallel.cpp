@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lrdip {
 namespace {
 
@@ -33,6 +35,11 @@ struct Job {
   std::atomic<std::int64_t> next{0};
   std::atomic<int> tokens{0};  // workers allowed to steal chunks (thread cap)
   std::atomic<int> active{0};  // workers that still owe a response
+  // Observability (src/obs/metrics.hpp): when metering is on, each
+  // participant records its busy time into a claimed slot. Slot 0 is always
+  // the calling thread (it claims before dispatch); null when metering is off.
+  std::vector<std::int64_t>* busy_ns = nullptr;
+  std::atomic<int> busy_slot{0};
   // First-failing-chunk exception (lowest chunk index wins, so even failure
   // is independent of the thread count).
   std::mutex error_mu;
@@ -40,6 +47,8 @@ struct Job {
   std::exception_ptr error;
 
   void run_chunks() {
+    const bool timed = busy_ns != nullptr;
+    const std::int64_t t0 = timed ? obs::now_ns() : 0;
     while (true) {
       const std::int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) break;
@@ -54,6 +63,10 @@ struct Job {
           error = std::current_exception();
         }
       }
+    }
+    if (timed) {
+      const int s = busy_slot.fetch_add(1, std::memory_order_relaxed);
+      if (s < static_cast<int>(busy_ns->size())) (*busy_ns)[s] = obs::now_ns() - t0;
     }
   }
 };
@@ -151,10 +164,23 @@ void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& bo
   if (n <= 0) return;
   if (grain < 1) grain = 1;
   const int threads = parallel_threads();
-  // Inline when the loop is too small to split, a single thread is requested,
-  // or we are already inside a parallel region (no nested pools).
-  if (threads <= 1 || n <= grain || tl_in_parallel_region) {
+  // Nested regions run inline on their worker; their time is already inside
+  // the outer region's busy slots, so they are never metered separately.
+  if (tl_in_parallel_region) {
     body(0, n);
+    return;
+  }
+  // Inline when the loop is too small to split or a single thread is
+  // requested; metering sees a one-thread region (busy == wall).
+  if (threads <= 1 || n <= grain) {
+    if (!obs::metrics_enabled()) {
+      body(0, n);
+      return;
+    }
+    const std::int64_t t0 = obs::now_ns();
+    body(0, n);
+    const std::int64_t busy[1] = {obs::now_ns() - t0};
+    obs::MetricsRegistry::instance().record_parallel(busy[0], busy, n);
     return;
   }
   Job job;
@@ -163,6 +189,13 @@ void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& bo
   job.grain = grain;
   const std::int64_t chunks = (n + grain - 1) / grain;
   const int helpers = static_cast<int>(std::min<std::int64_t>(threads - 1, chunks - 1));
+  const bool timed = obs::metrics_enabled();
+  std::vector<std::int64_t> busy;
+  if (timed) {
+    busy.assign(static_cast<std::size_t>(helpers) + 1, 0);
+    job.busy_ns = &busy;
+  }
+  const std::int64_t t0 = timed ? obs::now_ns() : 0;
   {
     RegionGuard region;
     if (helpers <= 0) {
@@ -170,6 +203,9 @@ void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& bo
     } else {
       Pool::instance().run(job, helpers);
     }
+  }
+  if (timed) {
+    obs::MetricsRegistry::instance().record_parallel(obs::now_ns() - t0, busy, n);
   }
   if (job.error) std::rethrow_exception(job.error);
 }

@@ -3,18 +3,56 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 
 namespace lrdip {
+namespace {
+
+/// Max over nodes per round of a [round * n + v] tally, as one entry per round.
+std::vector<int> per_round_max(const std::vector<int>& tally, int rounds, std::size_t n) {
+  std::vector<int> mx(static_cast<std::size_t>(rounds), 0);
+  for (int r = 0; r < rounds; ++r) {
+    const int* row = tally.data() + static_cast<std::size_t>(r) * n;
+    for (std::size_t v = 0; v < n; ++v) mx[r] = std::max(mx[r], row[v]);
+  }
+  return mx;
+}
+
+}  // namespace
 
 LabelStore::LabelStore(const Graph& g, int rounds)
     : g_(&g),
       rounds_(rounds),
       n_(static_cast<std::size_t>(g.n())),
-      m_(static_cast<std::size_t>(g.m())) {
+      m_(static_cast<std::size_t>(g.m())),
+      metered_(obs::metrics_enabled()) {
   LRDIP_CHECK(rounds >= 1);
   node_slab_ = arena_.allocate(static_cast<std::size_t>(rounds) * n_);
   charged_bits_.assign(g.n(), 0);
+  if (metered_) round_node_bits_.assign(static_cast<std::size_t>(rounds) * n_, 0);
+}
+
+LabelStore::~LabelStore() {
+  if (!metered_ || n_ == 0) return;
+  const std::vector<int> mx = per_round_max(round_node_bits_, rounds_, n_);
+  obs::MetricsRegistry::instance().merge_round_node_max(mx, {});
+}
+
+LabelStore::LabelStore(LabelStore&& other) noexcept
+    : g_(other.g_),
+      rounds_(other.rounds_),
+      n_(other.n_),
+      m_(other.m_),
+      arena_(std::move(other.arena_)),
+      node_slab_(other.node_slab_),
+      edge_slab_(other.edge_slab_),
+      charged_bits_(std::move(other.charged_bits_)),
+      metered_(other.metered_),
+      round_node_bits_(std::move(other.round_node_bits_)) {
+  other.metered_ = false;  // exactly one flush per metered store
+  other.node_slab_ = {};
+  other.edge_slab_ = {};
 }
 
 const Label& LabelStore::empty_label() {
@@ -27,6 +65,10 @@ void LabelStore::assign_node(int round, NodeId v, Label label) {
   Label& slot = node_slab_[static_cast<std::size_t>(round) * n_ + v];
   LRDIP_CHECK_MSG(slot.empty(), "node label already assigned this round");
   charged_bits_[v] += label.bit_size();
+  if (metered_) {
+    round_node_bits_[static_cast<std::size_t>(round) * n_ + v] += label.bit_size();
+    obs::on_label_assigned(round, label.bit_size(), static_cast<int>(label.num_fields()));
+  }
   slot = label;
 }
 
@@ -39,6 +81,10 @@ void LabelStore::assign_edge(int round, EdgeId e, Label label, NodeId accountabl
   Label& slot = edge_slab_[static_cast<std::size_t>(round) * m_ + e];
   LRDIP_CHECK_MSG(slot.empty(), "edge label already assigned this round");
   charged_bits_[accountable] += label.bit_size();
+  if (metered_) {
+    round_node_bits_[static_cast<std::size_t>(round) * n_ + accountable] += label.bit_size();
+    obs::on_label_assigned(round, label.bit_size(), static_cast<int>(label.num_fields()));
+  }
   slot = label;
 }
 
@@ -55,10 +101,28 @@ std::int64_t LabelStore::total_label_bits() const {
 }
 
 CoinStore::CoinStore(const Graph& g, int rounds)
-    : rounds_(rounds), n_(static_cast<std::size_t>(g.n())) {
+    : rounds_(rounds), n_(static_cast<std::size_t>(g.n())), metered_(obs::metrics_enabled()) {
   LRDIP_CHECK(rounds >= 1);
   slots_.assign(static_cast<std::size_t>(rounds) * n_, Slot{});
   coin_bits_.assign(g.n(), 0);
+  if (metered_) round_node_coin_bits_.assign(static_cast<std::size_t>(rounds) * n_, 0);
+}
+
+CoinStore::~CoinStore() {
+  if (!metered_ || n_ == 0) return;
+  const std::vector<int> mx = per_round_max(round_node_coin_bits_, rounds_, n_);
+  obs::MetricsRegistry::instance().merge_round_node_max({}, mx);
+}
+
+CoinStore::CoinStore(CoinStore&& other) noexcept
+    : rounds_(other.rounds_),
+      n_(other.n_),
+      slots_(std::move(other.slots_)),
+      data_(std::move(other.data_)),
+      coin_bits_(std::move(other.coin_bits_)),
+      metered_(other.metered_),
+      round_node_coin_bits_(std::move(other.round_node_coin_bits_)) {
+  other.metered_ = false;  // exactly one flush per metered store
 }
 
 CoinStore::Slot& CoinStore::open_slot(int round, NodeId v) {
@@ -85,6 +149,10 @@ std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
   s.len += static_cast<std::uint32_t>(count);
   LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
   coin_bits_[v] += count * bits_each;
+  if (metered_) {
+    round_node_coin_bits_[static_cast<std::size_t>(round) * n_ + v] += count * bits_each;
+    obs::on_coins_recorded(round, count, count * bits_each);
+  }
   return {data_.data() + s.offset, s.len};
 }
 
@@ -95,7 +163,12 @@ std::span<const std::uint64_t> CoinStore::record(int round, NodeId v,
   for (std::uint64_t w : values) data_.push_back(w);
   s.len += static_cast<std::uint32_t>(values.size());
   LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
-  coin_bits_[v] += static_cast<int>(values.size()) * bits_each;
+  const int bits = static_cast<int>(values.size()) * bits_each;
+  coin_bits_[v] += bits;
+  if (metered_) {
+    round_node_coin_bits_[static_cast<std::size_t>(round) * n_ + v] += bits;
+    obs::on_coins_recorded(round, static_cast<int>(values.size()), bits);
+  }
   return {data_.data() + s.offset, s.len};
 }
 

@@ -50,6 +50,16 @@ struct Outcome {
 class LabelStore {
  public:
   LabelStore(const Graph& g, int rounds);
+  /// Flushes per-round per-node maxima to the metrics registry when the store
+  /// was constructed with metering enabled (see src/obs/metrics.hpp).
+  ~LabelStore();
+
+  LabelStore(const LabelStore&) = delete;
+  LabelStore& operator=(const LabelStore&) = delete;
+  /// Moves transfer the metering tallies; the moved-from store flushes
+  /// nothing (its destructor sees metered_ == false).
+  LabelStore(LabelStore&& other) noexcept;
+  LabelStore& operator=(LabelStore&&) = delete;
 
   void assign_node(int round, NodeId v, Label label);
   void assign_edge(int round, EdgeId e, Label label, NodeId accountable);
@@ -105,11 +115,24 @@ class LabelStore {
   std::span<Label> node_slab_;    // [round * n + v]
   std::span<Label> edge_slab_;    // [round * m + e], lazily allocated
   std::vector<int> charged_bits_;  // [node]
+  /// Observability: captured at construction so one store is metered
+  /// consistently for its whole life; [round * n + v] bit tallies exist only
+  /// when metered.
+  bool metered_ = false;
+  std::vector<int> round_node_bits_;
 };
 
 class CoinStore {
  public:
   CoinStore(const Graph& g, int rounds);
+  /// Metrics flush, mirroring ~LabelStore.
+  ~CoinStore();
+
+  CoinStore(const CoinStore&) = delete;
+  CoinStore& operator=(const CoinStore&) = delete;
+  /// See LabelStore's move constructor.
+  CoinStore(CoinStore&& other) noexcept;
+  CoinStore& operator=(CoinStore&&) = delete;
 
   /// Draws and records `count` coins uniform below `bound` for node v in the
   /// given verifier round. Returns the values (also retrievable later); the
@@ -159,6 +182,8 @@ class CoinStore {
   std::vector<Slot> slots_;           // [round * n + v] into data_
   std::vector<std::uint64_t> data_;   // shared coin slab
   std::vector<int> coin_bits_;        // [node]
+  bool metered_ = false;              // observability, see ~LabelStore
+  std::vector<int> round_node_coin_bits_;
 };
 
 /// The verifier's eyes at one node. Created by the protocol driver for the

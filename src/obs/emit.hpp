@@ -1,0 +1,32 @@
+// Serialization of RunMetrics for the CLI (--metrics json|csv), the
+// proof-size bench, and the CI budget gate. JSON is hand-rolled (the library
+// has no JSON dependency and the schema is flat); CSV is one row per
+// (run, round) with run-level columns repeated so spreadsheet pivots work.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lrdip::obs {
+
+/// One run as a JSON object (no trailing newline). `indent` is the base
+/// indentation applied to every line; pass 0 for a top-level document.
+std::string run_to_json(const RunMetrics& run, int indent = 0);
+
+/// A JSON array of runs, one object per run.
+std::string runs_to_json(const std::vector<RunMetrics>& runs);
+
+/// CSV header matching run_to_csv_rows.
+std::string csv_header();
+
+/// One CSV row per store round of the run (a run with no recorded rounds
+/// still yields one row with round = -1 so the outcome is never dropped).
+std::vector<std::string> run_to_csv_rows(const RunMetrics& run);
+
+/// Writes all runs in the given format ("json" or "csv") to `os`.
+void emit_runs(std::ostream& os, const std::vector<RunMetrics>& runs, const std::string& format);
+
+}  // namespace lrdip::obs

@@ -8,6 +8,7 @@
 #include "field/fp.hpp"
 #include "field/primes.hpp"
 #include "graph/degeneracy.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -72,6 +73,7 @@ PathLocal path_locals(const LrSortingInstance& inst) {
 /// too, and the +-1 chain checks the preamble alludes to are explicit — the
 /// decision runs on decoded positions, not the ground truth.
 StageResult trivial_position_protocol(const LrSortingInstance& inst, FaultInjector* faults) {
+  const obs::ScopedTimer timer("trivial_position_protocol");
   const Graph& g = *inst.graph;
   const int n = g.n();
   const PathLocal pl = path_locals(inst);
@@ -188,6 +190,7 @@ CommitCsr build_commit_csr(const Graph& g, const std::vector<NodeId>& tail,
 
 StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
                              const LrCheatSpec* cheat, FaultInjector* faults) {
+  const obs::ScopedTimer timer("lr_sorting_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -774,10 +777,12 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
 
 Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
                        const LrCheatSpec* cheat, FaultInjector* faults) {
+  const obs::RunScope run("lr-sorting", inst.graph->n(), inst.graph->m());
   return finalize(lr_sorting_stage(inst, params, rng, cheat, faults));
 }
 
 Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst) {
+  const obs::RunScope run("lr-sorting-baseline-pls", inst.graph->n(), inst.graph->m());
   return finalize(trivial_position_protocol(inst, nullptr));
 }
 

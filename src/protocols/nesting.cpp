@@ -8,6 +8,7 @@
 #include "dip/faults.hpp"
 #include "dip/store.hpp"
 #include "graph/degeneracy.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -67,6 +68,7 @@ StageResult nesting_stage(const Graph& g, const std::vector<NodeId>& order, int 
 StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeId>& order,
                                          const std::vector<std::uint64_t>& s, int ls,
                                          FaultInjector* faults) {
+  const obs::ScopedTimer timer("nesting_stage");
   using L = NestingLayout;
   const int n = g.n();
   std::vector<int> pos(n);

@@ -11,6 +11,7 @@
 #include "protocols/nesting.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/spanning_tree.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -38,6 +39,7 @@ std::optional<std::vector<NodeId>> find_certificate(
 
 StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpParams& params,
                                  Rng& rng, FaultInjector* faults) {
+  const obs::ScopedTimer timer("outerplanarity_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -274,6 +276,7 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
 
 Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params, Rng& rng,
                            FaultInjector* faults) {
+  const obs::RunScope run("outerplanar", inst.graph->n(), inst.graph->m());
   return finalize(outerplanarity_stage(inst, params, rng, faults));
 }
 

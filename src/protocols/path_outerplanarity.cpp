@@ -41,6 +41,7 @@
 #include "protocols/lr_sorting.hpp"
 #include "protocols/nesting.hpp"
 #include "protocols/spanning_tree.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -82,6 +83,7 @@ int po_repetitions(int n, int c) {
 
 StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
                                       const PoParams& params, Rng& rng, FaultInjector* faults) {
+  const obs::ScopedTimer timer("path_outerplanarity_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -202,6 +204,7 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
 
 Outcome run_path_outerplanarity(const PathOuterplanarityInstance& inst, const PoParams& params,
                                 Rng& rng, FaultInjector* faults) {
+  const obs::RunScope run("path-outerplanar", inst.graph->n(), inst.graph->m());
   return finalize(path_outerplanarity_stage(inst, params, rng, faults));
 }
 

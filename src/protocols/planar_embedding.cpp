@@ -9,6 +9,7 @@
 #include "protocols/forest_encoding.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/spanning_tree.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -215,6 +216,7 @@ std::vector<char> corner_order_checks(const Graph& g, const RotationSystem& rot,
 
 StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const PeParams& params,
                                    Rng& rng, FaultInjector* faults) {
+  const obs::ScopedTimer timer("planar_embedding_stage");
   const Graph& g = *inst.graph;
   const RotationSystem& rot = *inst.rotation;
   const int n = g.n();
@@ -292,11 +294,13 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
 
 Outcome run_planar_embedding(const PlanarEmbeddingInstance& inst, const PeParams& params,
                              Rng& rng, FaultInjector* faults) {
+  const obs::RunScope run("embedding", inst.graph->n(), inst.graph->m());
   return finalize(planar_embedding_stage(inst, params, rng, faults));
 }
 
 Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
                       FaultInjector* faults) {
+  const obs::RunScope run("planarity", inst.graph->n(), inst.graph->m());
   const Graph& g = *inst.graph;
   // The prover picks (or fabricates) a rotation system.
   RotationSystem rot;

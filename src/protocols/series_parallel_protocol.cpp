@@ -11,6 +11,7 @@
 #include "protocols/nesting.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/spanning_tree.hpp"
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -80,6 +81,7 @@ StageResult reject_all(const Graph& g, int bits_estimate) {
 StageResult series_parallel_stage(const SeriesParallelInstance& inst,
                                   const SpProtocolParams& params, Rng& rng,
                                   FaultInjector* faults) {
+  const obs::ScopedTimer timer("series_parallel_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
@@ -233,6 +235,7 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
 
 Outcome run_series_parallel(const SeriesParallelInstance& inst, const SpProtocolParams& params,
                             Rng& rng, FaultInjector* faults) {
+  const obs::RunScope run("series-parallel", inst.graph->n(), inst.graph->m());
   return finalize(series_parallel_stage(inst, params, rng, faults));
 }
 
@@ -249,6 +252,8 @@ Outcome run_series_parallel_baseline_pls(const SeriesParallelInstance& inst) {
 
 Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
                        FaultInjector* faults) {
+  const obs::RunScope run("treewidth2", inst.graph->n(), inst.graph->m());
+  const obs::ScopedTimer timer("treewidth2_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
   LRDIP_CHECK(n >= 2);

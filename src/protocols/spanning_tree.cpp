@@ -4,6 +4,7 @@
 
 #include "dip/faults.hpp"
 #include "dip/store.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/spanning_tree_labeled.hpp"
 #include "support/check.hpp"
 
@@ -11,6 +12,7 @@ namespace lrdip {
 
 StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& claimed_parent,
                                  int repetitions, Rng& rng, FaultInjector* faults) {
+  const obs::ScopedTimer timer("verify_spanning_tree");
   using L = StLabeledLayout;
   const int n = g.n();
   const int k = repetitions;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
@@ -47,8 +48,8 @@ Outcome finalize(const StageResult& s) {
   o.max_coin_bits = s.coin_bits.empty() ? 0 : *std::max_element(s.coin_bits.begin(), s.coin_bits.end());
   // Dominant reject reason: most frequent non-none reason among rejecting
   // nodes; ties go to the more structural (higher-severity) defect.
+  std::int64_t hist[5] = {0, 0, 0, 0, 0};
   if (!o.accepted) {
-    int hist[5] = {0, 0, 0, 0, 0};
     for (std::size_t v = 0; v < s.node_accepts.size(); ++v) {
       if (s.node_accepts[v]) continue;
       ++o.rejected_nodes;
@@ -59,6 +60,13 @@ Outcome finalize(const StageResult& s) {
       if (hist[r] >= hist[best]) best = r;
     }
     o.reject_reason = hist[best] > 0 ? static_cast<RejectReason>(best) : RejectReason::check_failed;
+  }
+  if (obs::metrics_enabled()) {
+    // Every (sub-)protocol's finalize stamps the active run; the outermost
+    // call runs last, so the record ends up with the composite outcome.
+    obs::MetricsRegistry::instance().record_outcome(o.accepted, o.rounds, o.proof_size_bits,
+                                                    o.total_label_bits, o.max_coin_bits,
+                                                    o.rejected_nodes, hist);
   }
   return o;
 }

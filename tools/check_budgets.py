@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI gate on communication budgets.
+
+Compares a bench_proof_size results JSON (--json output) against the
+committed per-task budget files in bench/budgets/. A task regresses when a
+measured proof size at some log_n exceeds the budgeted value by more than the
+budget's tolerance (relative; --tolerance overrides every file). Points the
+budget does not cover (e.g. CI sweeps a smaller n range than the committed
+budgets, or vice versa) are skipped — only matching (task, log_n) pairs gate.
+
+Exit status: 0 all within budget, 1 regression(s), 2 usage/schema error.
+
+Usage:
+    tools/check_budgets.py results.json bench/budgets [--tolerance 0.02]
+
+The sweep is seed-pinned and the library ships its own deterministic Rng, so
+the committed budgets are exact: the default tolerance in the files is 0.0
+and any drift means the prover's labels actually changed. To refresh after an
+intentional protocol change:
+
+    build/bench/bench_proof_size --write-budgets bench/budgets
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", help="bench_proof_size --json output")
+    ap.add_argument("budgets_dir", help="directory of per-task budget files")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance overriding every budget file")
+    args = ap.parse_args()
+
+    results = load_json(args.results)
+    tasks = results.get("tasks")
+    if not isinstance(tasks, dict) or not tasks:
+        print(f"error: {args.results} has no tasks", file=sys.stderr)
+        sys.exit(2)
+
+    budgets_dir = pathlib.Path(args.budgets_dir)
+    failures = []
+    checked = 0
+    for task, data in sorted(tasks.items()):
+        budget_path = budgets_dir / f"{task}.json"
+        if not budget_path.exists():
+            failures.append(f"{task}: no budget file {budget_path} "
+                            f"(run bench_proof_size --write-budgets to create it)")
+            continue
+        budget = load_json(budget_path)
+        tol = args.tolerance if args.tolerance is not None else float(budget.get("tolerance", 0.0))
+        budget_points = {int(p["log_n"]): int(p["proof_size_bits"])
+                         for p in budget.get("points", [])}
+        for p in data.get("points", []):
+            log_n = int(p["log_n"])
+            if log_n not in budget_points:
+                continue
+            measured = int(p["proof_size_bits"])
+            allowed = budget_points[log_n] * (1.0 + tol)
+            checked += 1
+            mark = "ok"
+            if measured > allowed:
+                mark = "REGRESSION"
+                failures.append(
+                    f"{task} @ n=2^{log_n}: measured {measured} bits > "
+                    f"budget {budget_points[log_n]} (+{tol:.1%} tolerance = {allowed:.1f})")
+            print(f"  {task:>18} n=2^{log_n:<2} measured={measured:>6} "
+                  f"budget={budget_points[log_n]:>6} tol={tol:.1%}  {mark}")
+            if not p.get("accepted", True):
+                failures.append(f"{task} @ n=2^{log_n}: honest run REJECTED")
+
+    if checked == 0:
+        print("error: no (task, log_n) point matched any budget", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"\n{len(failures)} budget violation(s):")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nall {checked} checked points within budget")
+
+
+if __name__ == "__main__":
+    main()

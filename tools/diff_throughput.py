@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Warn-only throughput comparison for CI.
+
+Diffs a fresh google-benchmark JSON against the committed baseline
+(BENCH_throughput.json) and prints per-benchmark deltas. CI runners are
+noisy shared machines, so this never fails the build — it exists to make a
+real regression visible in the job log and the uploaded artifact, not to
+gate on a jittery number. The hard gate on communication budgets is
+tools/check_budgets.py, which compares deterministic quantities.
+
+Usage:
+    tools/diff_throughput.py current.json BENCH_throughput.json [--warn-pct 10]
+
+Always exits 0 (2 only on unreadable input).
+"""
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # aggregate rows (mean/median/stddev) would double-count; keep raw ones
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = float(b.get("cpu_time", b.get("real_time", 0.0)))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--warn-pct", type=float, default=10.0,
+                    help="flag benchmarks slower than baseline by more than this")
+    args = ap.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+    if not current:
+        print(f"warning: no benchmarks in {args.current}")
+        return
+
+    warned = 0
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None or base <= 0:
+            print(f"{name:<40} {'-':>12} {cur:>12.0f}      new")
+            continue
+        pct = 100.0 * (cur - base) / base
+        mark = ""
+        if pct > args.warn_pct:
+            mark = f"  SLOWER (> {args.warn_pct:.0f}%)"
+            warned += 1
+        print(f"{name:<40} {base:>12.0f} {cur:>12.0f} {pct:>+7.1f}%{mark}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<40} {baseline[name]:>12.0f} {'-':>12}  missing")
+
+    if warned:
+        print(f"\n::warning::{warned} benchmark(s) slower than the committed baseline "
+              f"by more than {args.warn_pct:.0f}% (warn-only; runners are noisy)")
+    else:
+        print("\nno benchmark slower than baseline beyond the warn threshold")
+
+
+if __name__ == "__main__":
+    main()
