@@ -1,7 +1,8 @@
-// Experiment E-FAULTS: Byzantine transcript fault injection across the six
-// protocol tasks. A FaultInjector mutates the recorded transcript between
-// prover and verifier (dip/faults.hpp); the hardened decision loops must
-// degrade gracefully: reject locally with a populated RejectReason, never
+// Experiment E-FAULTS: Byzantine transcript fault injection across all seven
+// protocol tasks (the registry supplies the task list, the honest instances,
+// and the entry points). A FaultInjector mutates the recorded transcript
+// between prover and verifier (dip/faults.hpp); the hardened decision loops
+// must degrade gracefully: reject locally with a populated RejectReason, never
 // throw, at every fault rate including rate = 1, while rate = 0 keeps perfect
 // completeness on honest yes-instances.
 //
@@ -12,29 +13,18 @@
 // failure and is counted in the `crashes` column (expected 0 everywhere).
 #include <array>
 #include <cstdlib>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "dip/faults.hpp"
-#include "protocols/lr_sorting.hpp"
-#include "protocols/outerplanarity.hpp"
-#include "protocols/path_outerplanarity.hpp"
-#include "protocols/planar_embedding.hpp"
-#include "protocols/series_parallel_protocol.hpp"
+#include "protocols/registry.hpp"
 
 using namespace lrdip;
 using namespace lrdip::bench;
 
 namespace {
-
-struct FaultTask {
-  std::string name;
-  // Runs one honest-prover execution with the given injector (nullptr = clean).
-  std::function<Outcome(Rng&, FaultInjector*)> run;
-};
 
 int fault_bench_n(int def = 256) {
   if (const char* env = std::getenv("LRDIP_BENCH_FAULT_N")) {
@@ -52,15 +42,15 @@ struct Cell {
   RejectReason dominant = RejectReason::none;
 };
 
-Cell sweep_cell(const FaultTask& task, double rate, std::uint32_t models, int trials,
-                std::uint64_t seed_base, Rng& rng) {
+Cell sweep_cell(const ProtocolSpec& spec, const BoundInstance& inst, int c, double rate,
+                std::uint32_t models, int trials, std::uint64_t seed_base, Rng& rng) {
   Cell cell;
   cell.trials = trials;
   int hist[5] = {0, 0, 0, 0, 0};
   for (int t = 0; t < trials; ++t) {
     FaultInjector inj({seed_base + static_cast<std::uint64_t>(t), rate, models});
     try {
-      const Outcome o = task.run(rng, rate > 0 ? &inj : nullptr);
+      const Outcome o = spec.run(inst.view(), {c}, rng, rate > 0 ? &inj : nullptr);
       if (!o.accepted) {
         ++cell.rejected;
         ++hist[static_cast<int>(o.reject_reason)];
@@ -84,40 +74,16 @@ int main() {
   const int n = fault_bench_n();
   const int trials = soundness_trials(40);
   const int c = 3;
-  Rng gen_rng(777);
 
-  // Fixed honest yes-instances, one per task; the sweep varies only the
-  // attack seed so completeness at rate 0 is exactly measurable.
-  const LrInstance lr_inst = random_lr_yes(n, 1.0, gen_rng);
-  const LrSortingInstance lr = to_protocol_instance(lr_inst);
-  const PathOuterplanarInstance po = random_path_outerplanar(n, 1.0, gen_rng);
-  const OuterplanarCertInstance op = random_outerplanar_with_cert(n, std::max(1, n / 64), gen_rng);
-  const PlanarInstance pl = random_planar(n, 0.3, gen_rng);
-  const SpInstance sp = random_series_parallel(n, gen_rng);
-  const Tw2CertInstance tw = random_treewidth2_with_cert(n, std::max(1, n / 64), gen_rng);
-
-  const std::vector<FaultTask> tasks = {
-      {"lr-sorting",
-       [&](Rng& r, FaultInjector* f) { return run_lr_sorting(lr, {c}, r, nullptr, f); }},
-      {"path-outerplanar",
-       [&](Rng& r, FaultInjector* f) {
-         return run_path_outerplanarity({&po.graph, po.order}, {c}, r, f);
-       }},
-      {"outerplanar",
-       [&](Rng& r, FaultInjector* f) {
-         return run_outerplanarity({&op.graph, op.block_cycles}, {c}, r, f);
-       }},
-      {"planarity",
-       [&](Rng& r, FaultInjector* f) {
-         return run_planarity({&pl.graph, &pl.rotation}, {c}, r, f);
-       }},
-      {"series-parallel",
-       [&](Rng& r, FaultInjector* f) { return run_series_parallel({&sp.graph, sp.ears}, {c}, r, f); }},
-      {"treewidth2",
-       [&](Rng& r, FaultInjector* f) {
-         return run_treewidth2({&tw.graph, tw.block_ears}, {c}, r, f);
-       }},
-  };
+  // Fixed honest yes-instances, one per task (seed pinned per task so adding
+  // a task never reshuffles the others); the sweep varies only the attack
+  // seed, so completeness at rate 0 is exactly measurable.
+  const std::span<const ProtocolSpec, kNumTasks> tasks = protocol_registry();
+  std::vector<BoundInstance> instances;
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    Rng gen_rng(777 + static_cast<std::uint64_t>(ti));
+    instances.push_back(tasks[ti].make_yes(n, gen_rng));
+  }
 
   print_header("E-FAULTS: Byzantine transcript corruption (n=" + std::to_string(n) + ", " +
                    std::to_string(trials) + " trials/cell)",
@@ -130,11 +96,12 @@ int main() {
   Table t({"task", "rate", "detected", "crashes", "avg_faults", "dominant_reason"});
   const double rates[] = {0.0, 0.02, 0.1, 0.5, 1.0};
   int total_crashes = 0;
-  for (const FaultTask& task : tasks) {
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
     for (double rate : rates) {
-      const Cell cell = sweep_cell(task, rate, kAllFaultModels, trials, 0x5eed0000, rng);
+      const Cell cell =
+          sweep_cell(tasks[ti], instances[ti], c, rate, kAllFaultModels, trials, 0x5eed0000, rng);
       total_crashes += cell.crashes;
-      t.add_row({task.name, Table::num(rate, 2),
+      t.add_row({tasks[ti].name, Table::num(rate, 2),
                  Table::num(cell.rejected) + "/" + Table::num(cell.trials),
                  Table::num(cell.crashes), Table::num(double(cell.faults) / cell.trials, 1),
                  reject_reason_name(cell.dominant)});
@@ -146,10 +113,11 @@ int main() {
   Table t2({"model", "task", "detected", "crashes", "avg_faults", "dominant_reason"});
   for (int m = 0; m < kNumFaultModels; ++m) {
     const FaultModel model = static_cast<FaultModel>(m);
-    for (const FaultTask& task : tasks) {
-      const Cell cell = sweep_cell(task, 0.25, fault_bit(model), trials, 0xfadefade, rng);
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      const Cell cell =
+          sweep_cell(tasks[ti], instances[ti], c, 0.25, fault_bit(model), trials, 0xfadefade, rng);
       total_crashes += cell.crashes;
-      t2.add_row({fault_model_name(model), task.name,
+      t2.add_row({fault_model_name(model), tasks[ti].name,
                   Table::num(cell.rejected) + "/" + Table::num(cell.trials),
                   Table::num(cell.crashes), Table::num(double(cell.faults) / cell.trials, 1),
                   reject_reason_name(cell.dominant)});

@@ -4,6 +4,7 @@
 #include "bench_util.hpp"
 #include "support/bits.hpp"
 #include "protocols/outerplanarity.hpp"
+#include "protocols/registry.hpp"
 
 using namespace lrdip;
 using namespace lrdip::bench;
@@ -25,7 +26,7 @@ int main() {
     // Baseline label width only (the PLS oracle is O(n^2); instances are
     // yes-instances by construction).
     Outcome base;
-    base.proof_size_bits = 4 * ceil_log2(static_cast<std::uint64_t>(n));
+    base.proof_size_bits = protocol_spec(Task::outerplanar).pls_bits(n);
 
     int no_rej = 0;
     for (int s = 0; s < trials; ++s) {

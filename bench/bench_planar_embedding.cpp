@@ -4,6 +4,7 @@
 #include "bench_util.hpp"
 #include "graph/rotation.hpp"
 #include "protocols/planar_embedding.hpp"
+#include "protocols/registry.hpp"
 #include "support/bits.hpp"
 
 using namespace lrdip;
@@ -22,7 +23,7 @@ int main() {
     const auto gi = random_planar(n, 0.4, rng);
     const PlanarEmbeddingInstance inst{&gi.graph, &gi.rotation};
     const Outcome o = run_planar_embedding(inst, {3}, rng);
-    const int pls_bits = 3 * ceil_log2(static_cast<std::uint64_t>(n));
+    const int pls_bits = protocol_spec(Task::embedding).pls_bits(n);
 
     int rej = 0, tried = 0;
     while (tried < trials) {

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "graph/planarity.hpp"
 #include "protocols/planar_embedding.hpp"
+#include "protocols/registry.hpp"
 #include "support/bits.hpp"
 
 using namespace lrdip;
@@ -55,7 +56,7 @@ int main() {
     }
     t1.add_row({Table::num(std::uint64_t(gi.graph.n())), "4", Table::num(o.rounds),
                 Table::num(o.proof_size_bits),
-                Table::num(3 * ceil_log2(std::uint64_t(n))),
+                Table::num(protocol_spec(Task::planarity).pls_bits(n)),
                 o.accepted ? "1.00" : "0.00", Table::num(double(rej) / trials, 2)});
   }
   t1.print(std::cout);

@@ -19,7 +19,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,11 +26,7 @@
 
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
-#include "protocols/lr_sorting.hpp"
-#include "protocols/outerplanarity.hpp"
-#include "protocols/path_outerplanarity.hpp"
-#include "protocols/planar_embedding.hpp"
-#include "protocols/series_parallel_protocol.hpp"
+#include "protocols/registry.hpp"
 #include "support/table.hpp"
 
 using namespace lrdip;
@@ -85,56 +80,6 @@ Fit fit_loglog(const std::vector<Point>& pts) {
     f.max_residual = std::max(f.max_residual, std::abs(p.proof_size_bits - (f.c * x + f.d)));
   }
   return f;
-}
-
-/// One honest yes-instance run at size n. The generator and protocol seeds
-/// are pinned per (task, log_n) so budgets are exact, not statistical.
-using TaskRunner = std::function<Outcome(int n, Rng& gen_rng, Rng& run_rng)>;
-
-struct TaskDef {
-  std::string name;
-  TaskRunner run;
-};
-
-std::vector<TaskDef> make_tasks(int c) {
-  return {
-      {"lr-sorting",
-       [c](int n, Rng& g, Rng& r) {
-         const LrInstance gi = random_lr_yes(n, 1.0, g);
-         const LrSortingInstance inst = to_protocol_instance(gi);
-         return run_lr_sorting(inst, {c}, r, nullptr, nullptr);
-       }},
-      {"path-outerplanar",
-       [c](int n, Rng& g, Rng& r) {
-         const PathOuterplanarInstance po = random_path_outerplanar(n, 1.0, g);
-         return run_path_outerplanarity({&po.graph, po.order}, {c}, r, nullptr);
-       }},
-      {"outerplanar",
-       [c](int n, Rng& g, Rng& r) {
-         const OuterplanarCertInstance op = random_outerplanar_with_cert(n, std::max(1, n / 64), g);
-         return run_outerplanarity({&op.graph, op.block_cycles}, {c}, r, nullptr);
-       }},
-      {"embedding",
-       [c](int n, Rng& g, Rng& r) {
-         const PlanarInstance pl = random_planar(n, 0.3, g);
-         return run_planar_embedding({&pl.graph, &pl.rotation}, {c}, r, nullptr);
-       }},
-      {"planarity",
-       [c](int n, Rng& g, Rng& r) {
-         const PlanarInstance pl = random_planar(n, 0.3, g);
-         return run_planarity({&pl.graph, &pl.rotation}, {c}, r, nullptr);
-       }},
-      {"series-parallel",
-       [c](int n, Rng& g, Rng& r) {
-         const SpInstance sp = random_series_parallel(n, g);
-         return run_series_parallel({&sp.graph, sp.ears}, {c}, r, nullptr);
-       }},
-      {"treewidth2",
-       [c](int n, Rng& g, Rng& r) {
-         const Tw2CertInstance tw = random_treewidth2_with_cert(n, std::max(1, n / 64), g);
-         return run_treewidth2({&tw.graph, tw.block_ears}, {c}, r, nullptr);
-       }},
-  };
 }
 
 std::string json_escape_free(const std::string& s) { return s; }  // names are [a-z-] only
@@ -223,7 +168,9 @@ int main(int argc, char** argv) {
                "max-label-bits per task, fitted against c * log2(log2 n) + d; the paper's "
                "claim is a O(log log n) proof size for all tasks (5 interaction rounds)");
 
-  std::vector<TaskDef> tasks = make_tasks(c);
+  // The protocol registry supplies both the yes-instance generator and the
+  // entry point per task; this sweep adds only the seed pinning.
+  const std::span<const ProtocolSpec, kNumTasks> tasks = protocol_registry();
   std::vector<TaskSweep> sweeps;
   // Wire metrics ride along: the registry is on for the whole sweep and each
   // run's record is drained right after it completes.
@@ -239,7 +186,8 @@ int main(int argc, char** argv) {
       // Seeds pinned per (task, size): budgets are exact, not statistical.
       Rng gen_rng(0x9e3779b9ull * (ti + 1) + static_cast<std::uint64_t>(k));
       Rng run_rng(0x517cc1b7ull * (ti + 1) + static_cast<std::uint64_t>(k));
-      const Outcome o = tasks[ti].run(n, gen_rng, run_rng);
+      const BoundInstance bi = tasks[ti].make_yes(n, gen_rng);
+      const Outcome o = tasks[ti].run(bi.view(), {c}, run_rng, nullptr);
       Point p;
       p.log_n = k;
       p.n = n;

@@ -1,18 +1,15 @@
 // Experiment E-SEP: the headline separation (Figure 2 / the theorem table).
 //
-// One row per task of Theorems 1.2-1.7 at a fixed n: interactive (5-round)
-// proof size vs. the one-round Theta(log n) PLS baselines, and where each
-// stage's bits come from. This is the paper's "power of interaction" story in
-// one table.
+// One row per registry task at a fixed n: interactive (5-round) proof size
+// vs. the one-round Theta(log n) PLS baselines, and where each task's bits
+// come from. This is the paper's "power of interaction" story in one table.
+// The PLS column uses the registry's textbook one-round label widths: the
+// executable baselines decide through centralized recognizers (O(n^2) for
+// outerplanarity) that do not belong in a 2^16-node sweep.
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "protocols/baseline_pls.hpp"
-#include "protocols/lr_sorting.hpp"
-#include "protocols/outerplanarity.hpp"
-#include "protocols/path_outerplanarity.hpp"
-#include "protocols/planar_embedding.hpp"
-#include "protocols/series_parallel_protocol.hpp"
+#include "protocols/registry.hpp"
 #include "support/bits.hpp"
 
 using namespace lrdip;
@@ -26,55 +23,14 @@ int main() {
                "every task of Theorems 1.2-1.7: 5-round DIP vs 1-round PLS");
 
   Table t({"task", "theorem", "n", "rounds", "dip_bits", "pls_bits", "ratio"});
-  auto add = [&](const std::string& task, const std::string& thm, int nn, const Outcome& o,
-                 int pls) {
-    t.add_row({task, thm, Table::num(std::uint64_t(nn)), Table::num(o.rounds),
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    const BoundInstance bi = spec.make_yes(n, rng);
+    const int nn = bi.graph().n();  // glued families land near, not at, n
+    const Outcome o = spec.run(bi.view(), {3}, rng, nullptr);
+    const int pls = spec.pls_bits(nn);
+    t.add_row({spec.name, spec.theorem, Table::num(std::uint64_t(nn)), Table::num(o.rounds),
                Table::num(o.proof_size_bits), Table::num(pls),
                Table::num(double(pls) / o.proof_size_bits, 2)});
-  };
-
-  {
-    const LrInstance gi = random_lr_yes(n, 1.0, rng);
-    const auto inst = to_protocol_instance(gi);
-    add("lr-sorting", "Lem 4.2", n, run_lr_sorting(inst, {3}, rng),
-        ceil_log2(std::uint64_t(n)));
-  }
-  {
-    const auto gi = random_path_outerplanar(n, 1.0, rng);
-    // Here the PLS column is MEASURED: the executable position-based scheme
-    // (protocols/baseline_pls), not just the textbook 3 log n width.
-    const Outcome pls = run_path_outerplanarity_pls(gi.graph, gi.order);
-    add("path-outerplanarity", "Thm 1.2", n,
-        run_path_outerplanarity({&gi.graph, gi.order}, {3}, rng), pls.proof_size_bits);
-  }
-  {
-    const auto gi = random_outerplanar_with_cert(n, logn, rng);
-    add("outerplanarity", "Thm 1.3", n,
-        run_outerplanarity({&gi.graph, gi.block_cycles}, {3}, rng),
-        4 * ceil_log2(std::uint64_t(n)));
-  }
-  {
-    const auto gi = random_planar(n, 0.4, rng);
-    add("planar embedding", "Thm 1.4", n,
-        run_planar_embedding({&gi.graph, &gi.rotation}, {3}, rng),
-        3 * ceil_log2(std::uint64_t(n)));
-  }
-  {
-    const auto gi = random_planar(n, 0.4, rng);
-    add("planarity", "Thm 1.5", n, run_planarity({&gi.graph, &gi.rotation}, {3}, rng),
-        6 * ceil_log2(std::uint64_t(n)));
-  }
-  {
-    const SpInstance gi = random_series_parallel(n, rng);
-    add("series-parallel", "Thm 1.6", gi.graph.n(),
-        run_series_parallel({&gi.graph, gi.ears}, {3}, rng),
-        4 * ceil_log2(std::uint64_t(gi.graph.n())));
-  }
-  {
-    const Tw2CertInstance gi = random_treewidth2_with_cert(n, logn / 2, rng);
-    add("treewidth <= 2", "Thm 1.7", gi.graph.n(),
-        run_treewidth2({&gi.graph, gi.block_ears}, {3}, rng),
-        4 * ceil_log2(std::uint64_t(gi.graph.n())));
   }
   t.print(std::cout);
   std::cout << "\nall DIP rows: 5 rounds, double-log-sized labels; PLS rows pay "

@@ -2,6 +2,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/series_parallel_protocol.hpp"
 #include "support/bits.hpp"
 
@@ -21,7 +22,7 @@ int main() {
     const SpInstance gi = random_series_parallel(n, rng);
     const SeriesParallelInstance inst{&gi.graph, gi.ears};
     const Outcome o = run_series_parallel(inst, {3}, rng);
-    const int pls_bits = 4 * ceil_log2(static_cast<std::uint64_t>(gi.graph.n()));
+    const int pls_bits = protocol_spec(Task::series_parallel).pls_bits(gi.graph.n());
 
     int rej = 0;
     for (int s = 0; s < trials; ++s) {

@@ -9,9 +9,11 @@
 
 #include "bench_util.hpp"
 #include "dip/parallel.hpp"
+#include "dip/runtime.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/planar_embedding.hpp"
+#include "protocols/registry.hpp"
 
 namespace {
 
@@ -74,6 +76,63 @@ void BM_LrSortingThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (1 << 17));
 }
 BENCHMARK(BM_LrSortingThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Batch throughput through Runtime::run_batch: `count` mixed-task instances
+// (round-robin over the registry) of `n` nodes each. The 64x256 shape is the
+// across-instance regime (whole executions spread over workers); 16x4096 is
+// the boundary toward within-instance parallelism. BM_BatchLoop runs the same
+// work as a sequential per-item loop — the batch speedup is the gap.
+std::vector<BoundInstance> make_batch_instances(int count, int n) {
+  std::vector<BoundInstance> out;
+  out.reserve(count);
+  const auto specs = protocol_registry();
+  for (int i = 0; i < count; ++i) {
+    Rng gen_rng(0xba7c4000ull + static_cast<std::uint64_t>(i));
+    out.push_back(specs[static_cast<std::size_t>(i) % specs.size()].make_yes(n, gen_rng));
+  }
+  return out;
+}
+
+std::vector<BatchItem> make_batch_items(const std::vector<BoundInstance>& bound) {
+  std::vector<BatchItem> items;
+  items.reserve(bound.size());
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    items.push_back({bound[i].view(), 1000 + static_cast<std::uint64_t>(i)});
+  }
+  return items;
+}
+
+void BM_Batch(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const std::vector<BoundInstance> bound = make_batch_instances(count, n);
+  const std::vector<BatchItem> items = make_batch_items(bound);
+  const Runtime rt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.run_batch(items));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_Batch)->Args({64, 256})->Args({16, 4096});
+
+void BM_BatchLoop(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const std::vector<BoundInstance> bound = make_batch_instances(count, n);
+  const std::vector<BatchItem> items = make_batch_items(bound);
+  const Runtime rt;
+  for (auto _ : state) {
+    std::vector<Outcome> out;
+    out.reserve(items.size());
+    for (const BatchItem& it : items) {
+      Rng rng(it.seed);
+      out.push_back(rt.run(it.inst, rng));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BatchLoop)->Args({64, 256})->Args({16, 4096});
 
 void BM_InstanceGeneration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -2,6 +2,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/series_parallel_protocol.hpp"
 #include "support/bits.hpp"
 
@@ -22,7 +23,7 @@ int main() {
     const Tw2CertInstance gi = random_treewidth2_with_cert(n, blocks, rng);
     const Treewidth2Instance inst{&gi.graph, gi.block_ears};
     const Outcome o = run_treewidth2(inst, {3}, rng);
-    const int pls_bits = 4 * ceil_log2(static_cast<std::uint64_t>(gi.graph.n()));
+    const int pls_bits = protocol_spec(Task::treewidth2).pls_bits(gi.graph.n());
 
     int rej = 0;
     for (int s = 0; s < trials; ++s) {

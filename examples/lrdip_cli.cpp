@@ -1,14 +1,19 @@
 // lrdip: command-line front end to the protocol suite.
 //
 //   lrdip <task> <graph-file> [--seed S] [--c C] [--trials T]
+//   lrdip batch <manifest> [--seed S] [--c C] [--threads T]
 //   lrdip gen <family> <n> <out-file> [--seed S]
 //   lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]
 //         [--models m1,m2,...] [--seed S] [--c C] [--trials T]
+//   lrdip list-tasks
 //
-// Tasks: lr-sorting | path-outerplanar | outerplanar | embedding | planarity
-//        | series-parallel | treewidth2
-// Families: path-outerplanar | outerplanar | planar | series-parallel
-//        | treewidth2 | lr-yes | lr-no
+// The task tokens, their certificate requirements, and the dispatch itself
+// all come from the protocol registry (protocols/registry.hpp) — the CLI adds
+// no task knowledge of its own. Batch manifests hold one "<task> <graph-file>"
+// pair per line (blank lines and '#' comments skipped); relative graph paths
+// resolve against the manifest's own directory, so a manifest travels with
+// its instance files. Generator families remain a CLI-local concern: they
+// produce files, not protocol executions.
 //
 // Graph files use the src/graph/io.hpp format; the optional sections carry
 // the prover certificates (order / rotation / tails) where available.
@@ -17,20 +22,22 @@
 // command, so a flaky run in a larger harness can be replayed exactly.
 #include <array>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dip/faults.hpp"
+#include "dip/parallel.hpp"
+#include "dip/runtime.hpp"
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
 #include "obs/emit.hpp"
 #include "obs/metrics.hpp"
-#include "protocols/lr_sorting.hpp"
-#include "protocols/outerplanarity.hpp"
-#include "protocols/path_outerplanarity.hpp"
-#include "protocols/planar_embedding.hpp"
-#include "protocols/series_parallel_protocol.hpp"
+#include "protocols/registry.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -38,18 +45,20 @@ namespace {
 using namespace lrdip;
 
 int usage() {
-  std::cerr <<
-      "usage:\n"
-      "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
-      "  lrdip gen <family> <n> <out-file> [--seed S]\n"
-      "  lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]\n"
-      "        [--models m1,m2,...] [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
-      "tasks:    lr-sorting path-outerplanar outerplanar embedding planarity\n"
-      "          series-parallel treewidth2\n"
-      "families: path-outerplanar outerplanar planar series-parallel\n"
-      "          treewidth2 lr-yes lr-no\n"
-      "models:   bit_flip width_corrupt field_drop field_append label_drop\n"
-      "          label_swap stale_replay coin_flip (default: all)\n";
+  std::cerr << "usage:\n"
+               "  lrdip <task> <graph-file> [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
+               "  lrdip batch <manifest> [--seed S] [--c C] [--threads T] [--metrics json|csv]\n"
+               "  lrdip gen <family> <n> <out-file> [--seed S]\n"
+               "  lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]\n"
+               "        [--models m1,m2,...] [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
+               "  lrdip list-tasks\n"
+               "tasks:    "
+            << task_name_list(" ")
+            << "\n"
+               "families: path-outerplanar outerplanar planar series-parallel\n"
+               "          treewidth2 lr-yes lr-no\n"
+               "models:   bit_flip width_corrupt field_drop field_append label_drop\n"
+               "          label_swap stale_replay coin_flip (default: all)\n";
   return 2;
 }
 
@@ -58,6 +67,8 @@ struct Options {
   int c = 3;
   int trials = 1;
   std::string metrics;  // "", "json" or "csv"
+  // batch subcommand only:
+  int threads = 0;  // 0 = engine default
   // faults subcommand only:
   double rate = 0.25;
   std::uint64_t fault_seed = 1;
@@ -93,6 +104,8 @@ Options parse_options(int argc, char** argv, int from) {
       opt.c = std::stoi(next());
     } else if (a == "--trials") {
       opt.trials = std::stoi(next());
+    } else if (a == "--threads") {
+      opt.threads = std::stoi(next());
     } else if (a == "--rate") {
       opt.rate = std::stod(next());
     } else if (a == "--fault-seed") {
@@ -135,9 +148,9 @@ struct MeteredSection {
 };
 
 void report(std::ostream& os, const std::string& task, const Outcome& o) {
-  os << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED")
-     << "  rounds=" << o.rounds << "  proof_bits=" << o.proof_size_bits
-     << "  total_bits=" << o.total_label_bits << "  coin_bits=" << o.max_coin_bits;
+  os << task << ": " << (o.accepted ? "ACCEPTED" : "REJECTED") << "  rounds=" << o.rounds
+     << "  proof_bits=" << o.proof_size_bits << "  total_bits=" << o.total_label_bits
+     << "  coin_bits=" << o.max_coin_bits;
   if (!o.accepted) {
     os << "  reject_reason=" << reject_reason_name(o.reject_reason)
        << "  rejected_nodes=" << o.rejected_nodes;
@@ -159,44 +172,23 @@ std::string repro_line(const std::string& sub, const std::string& task, const st
   return cmd.str();
 }
 
-Outcome run_once(const std::string& task, const GraphFile& gf, const Options& opt, Rng& rng,
-                 FaultInjector* faults) {
-  if (task == "lr-sorting") {
-    LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
-    LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
-    LrSortingInstance inst{&gf.graph, *gf.order, *gf.tails, {}};
-    return run_lr_sorting(inst, {opt.c}, rng, nullptr, faults);
-  }
-  if (task == "path-outerplanar") {
-    return run_path_outerplanarity({&gf.graph, gf.order}, {opt.c}, rng, faults);
-  }
-  if (task == "outerplanar") {
-    return run_outerplanarity({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
-  }
-  if (task == "embedding") {
-    LRDIP_CHECK_MSG(gf.rotation.has_value(), "embedding needs a 'rotation' section");
-    return run_planar_embedding({&gf.graph, &*gf.rotation}, {opt.c}, rng, faults);
-  }
-  if (task == "planarity") {
-    return run_planarity({&gf.graph, gf.rotation ? &*gf.rotation : nullptr}, {opt.c}, rng, faults);
-  }
-  if (task == "series-parallel") {
-    return run_series_parallel({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
-  }
-  if (task == "treewidth2") {
-    return run_treewidth2({&gf.graph, std::nullopt}, {opt.c}, rng, faults);
-  }
-  throw InvariantError("unknown task: " + task);
+Task task_or_throw(const std::string& name) {
+  const std::optional<Task> t = task_from_name(name);
+  if (!t) throw InvariantError("unknown task: " + name + " (tasks: " + task_name_list() + ")");
+  return *t;
 }
 
 int run_task(const std::string& task, const std::string& path, const Options& opt) {
+  const Task t = task_or_throw(task);
   const GraphFile gf = read_graph_file(path);
+  const BoundInstance bi = bind_instance(t, gf);
   Rng rng(opt.seed);
   MeteredSection metered(opt);
+  const Runtime rt(Runtime::Config{{opt.c}});
   int accepted = 0;
   Outcome last;
-  for (int t = 0; t < opt.trials; ++t) {
-    last = run_once(task, gf, opt, rng, nullptr);
+  for (int tr = 0; tr < opt.trials; ++tr) {
+    last = rt.run(bi.view(), rng);
     accepted += last.accepted ? 1 : 0;
   }
   metered.flush(std::cout);
@@ -215,17 +207,69 @@ int run_task(const std::string& task, const std::string& path, const Options& op
   return last.accepted ? 0 : 1;
 }
 
+int run_batch(const std::string& manifest_path, const Options& opt) {
+  std::ifstream in(manifest_path);
+  LRDIP_CHECK_MSG(in.good(), "cannot open manifest: " + manifest_path);
+  const std::filesystem::path base = std::filesystem::path(manifest_path).parent_path();
+
+  // Parsed per-line work. The GraphFiles must be address-stable (the bound
+  // views borrow them), hence one heap allocation per entry.
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<GraphFile>> files;
+  std::vector<BoundInstance> bound;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string task_name, graph_path;
+    if (!(ls >> task_name) || task_name[0] == '#') continue;
+    LRDIP_CHECK_MSG(static_cast<bool>(ls >> graph_path),
+                    "manifest line needs '<task> <graph-file>': " + line);
+    const Task t = task_or_throw(task_name);
+    std::filesystem::path p(graph_path);
+    if (p.is_relative()) p = base / p;
+    files.push_back(std::make_unique<GraphFile>(read_graph_file(p.string())));
+    bound.push_back(bind_instance(t, *files.back()));
+    names.push_back(task_name);
+  }
+  std::vector<BatchItem> items;
+  items.reserve(bound.size());
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    items.push_back({bound[i].view(), opt.seed + static_cast<std::uint64_t>(i)});
+  }
+
+  if (opt.threads > 0) set_parallel_threads(opt.threads);
+  MeteredSection metered(opt);
+  const Runtime rt(Runtime::Config{{opt.c}});
+  const std::vector<Outcome> outcomes = rt.run_batch(items);
+  metered.flush(std::cout);
+  if (opt.threads > 0) set_parallel_threads(0);
+
+  std::ostream& os = opt.metrics.empty() ? std::cout : std::cerr;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    os << "[" << i << "] n=" << bound[i].graph().n() << " ";
+    report(os, names[i], outcomes[i]);
+    accepted += outcomes[i].accepted ? 1 : 0;
+  }
+  os << "batch: accepted " << accepted << "/" << outcomes.size() << "  (seed base " << opt.seed
+     << ", c=" << opt.c << ")\n";
+  return accepted == outcomes.size() ? 0 : 1;
+}
+
 int run_faults(const std::string& task, const std::string& path, const Options& opt) {
+  const Task t = task_or_throw(task);
   const GraphFile gf = read_graph_file(path);
+  const BoundInstance bi = bind_instance(t, gf);
   Rng rng(opt.seed);
   MeteredSection metered(opt);
+  const Runtime rt(Runtime::Config{{opt.c}});
   int rejected = 0;
   Outcome last;
   std::array<std::int64_t, kNumFaultModels> counts{};
   std::int64_t total_faults = 0;
-  for (int t = 0; t < opt.trials; ++t) {
-    FaultInjector inj({opt.fault_seed + static_cast<std::uint64_t>(t), opt.rate, opt.models});
-    last = run_once(task, gf, opt, rng, &inj);
+  for (int tr = 0; tr < opt.trials; ++tr) {
+    FaultInjector inj({opt.fault_seed + static_cast<std::uint64_t>(tr), opt.rate, opt.models});
+    last = rt.run(bi.view(), rng, &inj);
     rejected += last.accepted ? 0 : 1;
     for (int m = 0; m < kNumFaultModels; ++m) {
       counts[m] += inj.count(static_cast<FaultModel>(m));
@@ -235,8 +279,7 @@ int run_faults(const std::string& task, const std::string& path, const Options& 
   metered.flush(std::cout);
   std::ostream& os = opt.metrics.empty() ? std::cout : std::cerr;
   os << "faults " << task << ": rate=" << opt.rate << " models=" << opt.models_arg
-     << " detected=" << rejected << "/" << opt.trials
-     << " injected=" << total_faults << "\n";
+     << " detected=" << rejected << "/" << opt.trials << " injected=" << total_faults << "\n";
   os << "per-model injections:";
   for (int m = 0; m < kNumFaultModels; ++m) {
     if (counts[m] > 0) {
@@ -270,8 +313,8 @@ int run_gen(const std::string& family, int n, const std::string& out, const Opti
   } else if (family == "treewidth2") {
     gf.graph = random_treewidth2(n, std::max(1, n / 64), rng);
   } else if (family == "lr-yes" || family == "lr-no") {
-    const LrInstance inst = family == "lr-yes" ? random_lr_yes(n, 1.0, rng)
-                                               : random_lr_no(n, 1.0, 1, rng);
+    const LrInstance inst =
+        family == "lr-yes" ? random_lr_yes(n, 1.0, rng) : random_lr_no(n, 1.0, 1, rng);
     gf.graph = inst.graph;
     gf.order = inst.order;
     std::vector<int> pos(inst.graph.n());
@@ -292,10 +335,25 @@ int run_gen(const std::string& family, int n, const std::string& out, const Opti
   return 0;
 }
 
+int list_tasks() {
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    std::cout << spec.name << "  (" << spec.theorem << ")";
+    if (spec.requires_certs != 0) {
+      std::cout << "  requires:";
+      if (spec.requires_certs & kCertOrder) std::cout << " order";
+      if (spec.requires_certs & kCertTails) std::cout << " tails";
+      if (spec.requires_certs & kCertRotation) std::cout << " rotation";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::strcmp(argv[1], "list-tasks") == 0) return list_tasks();
     if (argc < 3) return usage();
     const std::string cmd = argv[1];
     if (cmd == "gen") {
@@ -305,6 +363,9 @@ int main(int argc, char** argv) {
     if (cmd == "faults") {
       if (argc < 4) return usage();
       return run_faults(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
+    if (cmd == "batch") {
+      return run_batch(argv[2], parse_options(argc, argv, 3));
     }
     return run_task(cmd, argv[2], parse_options(argc, argv, 3));
   } catch (const std::exception& ex) {

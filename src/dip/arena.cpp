@@ -1,0 +1,114 @@
+#include "dip/arena.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace lrdip::pool {
+namespace {
+
+// Per-thread, per-element-type free list of raw vector buffers. Bounded in
+// both entry count and bytes so a burst of huge instances cannot pin memory
+// for the rest of the process; buffers beyond either bound go straight back
+// to the allocator.
+template <typename T>
+class FreeList {
+ public:
+  std::vector<T> acquire(std::size_t count_hint) {
+    // Best fit: the smallest cached buffer that already covers the request.
+    // A miss returns a fresh vector and lets the caller's resize size it —
+    // reserving here would just duplicate that growth policy.
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(bufs_.size()); ++i) {
+      if (bufs_[i].capacity() < count_hint) continue;
+      if (best == -1 || bufs_[i].capacity() < bufs_[best].capacity()) best = i;
+    }
+    if (best == -1) return {};
+    std::vector<T> out = std::move(bufs_[best]);
+    bufs_[best] = std::move(bufs_.back());
+    bufs_.pop_back();
+    bytes_ -= out.capacity() * sizeof(T);
+    out.clear();
+    return out;
+  }
+
+  void recycle(std::vector<T>&& buf) {
+    const std::size_t bytes = buf.capacity() * sizeof(T);
+    if (bytes == 0 || bufs_.size() >= kMaxEntries || bytes_ + bytes > kMaxBytes) return;
+    buf.clear();
+    bytes_ += bytes;
+    bufs_.push_back(std::move(buf));
+  }
+
+  std::size_t bytes() const { return bytes_; }
+  void clear() {
+    bufs_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  // One execution touches a handful of slabs; a deep list only means the
+  // pool is caching sizes nobody re-requests.
+  static constexpr std::size_t kMaxEntries = 16;
+  static constexpr std::size_t kMaxBytes = std::size_t{64} << 20;  // per thread, per type
+
+  std::vector<std::vector<T>> bufs_;
+  std::size_t bytes_ = 0;
+};
+
+std::atomic<int> g_retain_count{0};
+
+FreeList<Label>& label_list() {
+  thread_local FreeList<Label> list;
+  return list;
+}
+
+FreeList<std::uint64_t>& word_list() {
+  thread_local FreeList<std::uint64_t> list;
+  return list;
+}
+
+}  // namespace
+
+void retain() { g_retain_count.fetch_add(1, std::memory_order_relaxed); }
+
+void release() {
+  const int prev = g_retain_count.fetch_sub(1, std::memory_order_relaxed);
+  LRDIP_CHECK_MSG(prev > 0, "pool::release without matching retain");
+  // The releasing thread drops its own cache; worker-thread caches drain
+  // lazily (their recycle() calls start declining once the pool is off).
+  if (prev == 1) clear_thread_cache();
+}
+
+bool active() { return g_retain_count.load(std::memory_order_relaxed) > 0; }
+
+std::size_t thread_cached_bytes() { return label_list().bytes() + word_list().bytes(); }
+
+void clear_thread_cache() {
+  label_list().clear();
+  word_list().clear();
+}
+
+namespace detail {
+
+std::vector<Label> acquire_labels(std::size_t count_hint) {
+  if (!active()) return {};
+  return label_list().acquire(count_hint);
+}
+
+void recycle_labels(std::vector<Label>&& buf) {
+  if (!active()) return;
+  label_list().recycle(std::move(buf));
+}
+
+std::vector<std::uint64_t> acquire_words(std::size_t count_hint) {
+  if (!active()) return {};
+  return word_list().acquire(count_hint);
+}
+
+void recycle_words(std::vector<std::uint64_t>&& buf) {
+  if (!active()) return;
+  word_list().recycle(std::move(buf));
+}
+
+}  // namespace detail
+}  // namespace lrdip::pool

@@ -5,11 +5,23 @@
 // nodes, round-major) instead of a vector-of-vectors with one heap cell per
 // (round, node) — the labels themselves are inline value types (see
 // label.hpp), so a slab is a single allocation and iterating it is a linear
-// walk. Slabs live until the arena dies; LabelStore owns its arena, so the
-// lifetime is exactly one execution.
+// walk. Slabs live until the arena dies or reset() runs; LabelStore owns its
+// arena, so the lifetime is exactly one execution.
+//
+// Slab pool: a Runtime (dip/runtime.hpp) that serves many executions retains
+// the process-wide pool, after which dying arenas and coin stores hand their
+// buffers to a per-thread free list instead of the allocator, and fresh
+// allocations draw from that list. Recycling is invisible to protocol code:
+// an acquired label slab is resize()d from empty, so every element is a
+// value-initialized Label — byte-identical to a freshly allocated slab
+// (Label's all-zero state IS its default state, see label.hpp). Free lists
+// are thread-local because a store is created, filled, and destroyed on one
+// thread (a batch worker or the caller); no cross-thread handoff, no locks
+// on the hot path.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,23 +30,58 @@
 
 namespace lrdip {
 
+namespace pool {
+
+/// Turns the slab pool on (refcounted); balanced by release(). While active,
+/// LabelArena / CoinStore buffers recycle through per-thread free lists.
+void retain();
+void release();
+bool active();
+
+/// Bytes currently cached on the calling thread's free lists (stats/tests).
+std::size_t thread_cached_bytes();
+/// Drops the calling thread's cached buffers back to the allocator.
+void clear_thread_cache();
+
+namespace detail {
+/// Returns an EMPTY vector, with capacity >= count_hint when the pool can
+/// serve it from the free list; a plain fresh vector otherwise.
+std::vector<Label> acquire_labels(std::size_t count_hint);
+void recycle_labels(std::vector<Label>&& buf);
+std::vector<std::uint64_t> acquire_words(std::size_t count_hint);
+void recycle_words(std::vector<std::uint64_t>&& buf);
+}  // namespace detail
+
+}  // namespace pool
+
 class LabelArena {
  public:
   LabelArena() = default;
+  ~LabelArena() { reset(); }
   LabelArena(const LabelArena&) = delete;
   LabelArena& operator=(const LabelArena&) = delete;
   LabelArena(LabelArena&&) = default;
   LabelArena& operator=(LabelArena&&) = default;
 
   /// Allocates a contiguous slab of `count` empty labels. The returned span
-  /// stays valid (and its addresses stable) for the arena's lifetime.
+  /// stays valid (and its addresses stable) until reset() or destruction.
   std::span<Label> allocate(std::size_t count) {
-    slabs_.emplace_back(count);
+    std::vector<Label> buf = pool::detail::acquire_labels(count);
+    buf.resize(count);  // value-initialized == default Label state
+    slabs_.push_back(std::move(buf));
     total_ += count;
     return {slabs_.back().data(), slabs_.back().size()};
   }
 
-  /// Total labels handed out across all slabs.
+  /// Returns every slab to the pool (or the allocator) and makes the arena
+  /// reusable. Outstanding spans from allocate() are invalidated.
+  void reset() {
+    for (std::vector<Label>& slab : slabs_) pool::detail::recycle_labels(std::move(slab));
+    slabs_.clear();
+    total_ = 0;
+  }
+
+  /// Total labels handed out across all live slabs.
   std::size_t size() const { return total_; }
 
  private:

@@ -71,6 +71,19 @@ struct Job {
   }
 };
 
+// True while this thread is executing the body of a parallel region — on the
+// calling thread for the duration of the region, and on a pool worker while
+// it runs chunks. Nested parallel_for calls check it and run inline, which is
+// what keeps Pool::run non-reentrant (a worker that re-entered the pool would
+// deadlock waiting for itself to service the inner job).
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tl_in_parallel_region) { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = prev; }
+};
+
 class Pool {
  public:
   static Pool& instance() {
@@ -123,7 +136,10 @@ class Pool {
         job = job_;
       }
       if (job == nullptr) continue;
-      if (job->tokens.fetch_sub(1, std::memory_order_acq_rel) > 0) job->run_chunks();
+      if (job->tokens.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        RegionGuard region;  // nested regions inside the body stay inline
+        job->run_chunks();
+      }
       const bool last = job->active.fetch_sub(1, std::memory_order_acq_rel) == 1;
       if (last) {
         std::lock_guard<std::mutex> lk(mu_);
@@ -138,13 +154,6 @@ class Pool {
   Job* job_ = nullptr;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
-};
-
-thread_local bool tl_in_parallel_region = false;
-
-struct RegionGuard {
-  RegionGuard() { tl_in_parallel_region = true; }
-  ~RegionGuard() { tl_in_parallel_region = false; }
 };
 
 }  // namespace

@@ -1,0 +1,45 @@
+#include "dip/runtime.hpp"
+
+#include "dip/arena.hpp"
+#include "dip/parallel.hpp"
+
+namespace lrdip {
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) { pool::retain(); }
+
+Runtime::~Runtime() { pool::release(); }
+
+Outcome Runtime::run(const Instance& inst, Rng& rng, FaultInjector* faults) const {
+  return run_protocol(inst, cfg_.options, rng, faults);
+}
+
+std::vector<Outcome> Runtime::run_batch(std::span<const BatchItem> items) const {
+  std::vector<Outcome> out(items.size());
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    (items[i].inst.graph().n() < cfg_.small_instance_threshold ? small : large).push_back(i);
+  }
+  // Across-instance axis: one whole execution per worker (grain 1). The
+  // engine inlines nested parallel regions on workers, so each execution is
+  // byte-identical to running alone on one thread; writes are disjoint
+  // (out[idx]), so the batch result is thread-count-invariant.
+  parallel_for(
+      static_cast<std::int64_t>(small.size()),
+      [&](std::int64_t i) {
+        const std::size_t idx = small[static_cast<std::size_t>(i)];
+        const BatchItem& it = items[idx];
+        Rng rng(it.seed);
+        out[idx] = run_protocol(it.inst, cfg_.options, rng, nullptr);
+      },
+      /*grain=*/1);
+  // Within-instance axis: sequential over items, full pool inside each.
+  for (const std::size_t idx : large) {
+    const BatchItem& it = items[idx];
+    Rng rng(it.seed);
+    out[idx] = run_protocol(it.inst, cfg_.options, rng, nullptr);
+  }
+  return out;
+}
+
+}  // namespace lrdip

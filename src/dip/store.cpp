@@ -104,14 +104,21 @@ CoinStore::CoinStore(const Graph& g, int rounds)
     : rounds_(rounds), n_(static_cast<std::size_t>(g.n())), metered_(obs::metrics_enabled()) {
   LRDIP_CHECK(rounds >= 1);
   slots_.assign(static_cast<std::size_t>(rounds) * n_, Slot{});
+  // With the slab pool retained, reuse a previous execution's coin slab so
+  // the append path starts with its capacity already grown. The hint (one
+  // coin per node-round) is a floor, not the exact size — contents are
+  // appended from scratch either way, so recycling never changes a value.
+  data_ = pool::detail::acquire_words(static_cast<std::size_t>(rounds) * n_);
   coin_bits_.assign(g.n(), 0);
   if (metered_) round_node_coin_bits_.assign(static_cast<std::size_t>(rounds) * n_, 0);
 }
 
 CoinStore::~CoinStore() {
-  if (!metered_ || n_ == 0) return;
-  const std::vector<int> mx = per_round_max(round_node_coin_bits_, rounds_, n_);
-  obs::MetricsRegistry::instance().merge_round_node_max({}, mx);
+  if (metered_ && n_ != 0) {
+    const std::vector<int> mx = per_round_max(round_node_coin_bits_, rounds_, n_);
+    obs::MetricsRegistry::instance().merge_round_node_max({}, mx);
+  }
+  pool::detail::recycle_words(std::move(data_));
 }
 
 CoinStore::CoinStore(CoinStore&& other) noexcept

@@ -1,5 +1,8 @@
 #include "field/primes.hpp"
 
+#include <mutex>
+#include <unordered_map>
+
 #include "support/check.hpp"
 
 namespace lrdip {
@@ -59,6 +62,25 @@ std::uint64_t next_prime_above(std::uint64_t n) {
   if (c % 2 == 0) ++c;
   while (!is_prime(c)) c += 2;
   return c;
+}
+
+std::uint64_t cached_prime_above(std::uint64_t n) {
+  // Distinct thresholds are one per (task, n) pair in practice, so the cache
+  // stays tiny; the bound is a safety valve against a pathological caller,
+  // not a tuning knob.
+  constexpr std::size_t kMaxEntries = 4096;
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::uint64_t> cache;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  const std::uint64_t p = next_prime_above(n);
+  const std::lock_guard<std::mutex> lock(mu);
+  if (cache.size() >= kMaxEntries) cache.clear();
+  cache.emplace(n, p);
+  return p;
 }
 
 }  // namespace lrdip

@@ -15,4 +15,11 @@ bool is_prime(std::uint64_t n);
 /// bits (always true for our polylog-sized fields).
 std::uint64_t next_prime_above(std::uint64_t n);
 
+/// Memoized next_prime_above. The protocols ask for the same polylog-sized
+/// thresholds on every execution — a batch of same-sized instances repeats
+/// one Miller–Rabin scan per run — so a small process-wide cache (shared by
+/// all Runtime executions, mutex-guarded) answers repeats in O(1). Pure
+/// lookup semantics: always returns exactly next_prime_above(n).
+std::uint64_t cached_prime_above(std::uint64_t n);
+
 }  // namespace lrdip

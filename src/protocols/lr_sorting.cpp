@@ -9,6 +9,7 @@
 #include "field/primes.hpp"
 #include "graph/degeneracy.hpp"
 #include "obs/metrics.hpp"
+#include "protocols/registry.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
 
@@ -203,8 +204,8 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   // Fields. p > max(log^c n, 2B + 2); p' > p * B.
   const double logn = std::log2(static_cast<double>(n));
   const auto pc = static_cast<std::uint64_t>(std::pow(logn, params.c));
-  const Fp f(next_prime_above(std::max<std::uint64_t>(pc, 2 * B + 2)));
-  const Fp f2(next_prime_above(f.modulus() * static_cast<std::uint64_t>(B)));
+  const Fp f(cached_prime_above(std::max<std::uint64_t>(pc, 2 * B + 2)));
+  const Fp f2(cached_prime_above(f.modulus() * static_cast<std::uint64_t>(B)));
   const int fbits = f.element_bits();
   const int f2bits = f2.element_bits();
   const int idx_bits = bits_for_values(2 * B);
@@ -777,8 +778,14 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
 
 Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rng& rng,
                        const LrCheatSpec* cheat, FaultInjector* faults) {
-  const obs::RunScope run("lr-sorting", inst.graph->n(), inst.graph->m());
-  return finalize(lr_sorting_stage(inst, params, rng, cheat, faults));
+  if (cheat != nullptr) {
+    // Cheating provers are a soundness-experiment knob, not a task variant;
+    // the registry path stays cheat-free and this branch keeps the exact
+    // pre-registry execution for the experiments.
+    const obs::RunScope run("lr-sorting", inst.graph->n(), inst.graph->m());
+    return finalize(lr_sorting_stage(inst, params, rng, cheat, faults));
+  }
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst) {

@@ -15,7 +15,7 @@ Fp multiset_equality_field(std::uint64_t size_bound, int universe_exponent) {
   long double target = 1;
   for (int i = 0; i < universe_exponent + 1; ++i) target *= static_cast<long double>(size_bound);
   LRDIP_CHECK_MSG(target < std::ldexp(1.0L, 61), "field too large for 64-bit backend");
-  return Fp(next_prime_above(static_cast<std::uint64_t>(target)));
+  return Fp(cached_prime_above(static_cast<std::uint64_t>(target)));
 }
 
 StageResult verify_multiset_equality(const Graph& g, const RootedForest& tree,

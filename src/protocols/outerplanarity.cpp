@@ -10,6 +10,7 @@
 #include "protocols/forest_encoding.hpp"
 #include "protocols/nesting.hpp"
 #include "protocols/path_outerplanarity.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/spanning_tree.hpp"
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
@@ -276,8 +277,7 @@ StageResult outerplanarity_stage(const OuterplanarityInstance& inst, const OpPar
 
 Outcome run_outerplanarity(const OuterplanarityInstance& inst, const OpParams& params, Rng& rng,
                            FaultInjector* faults) {
-  const obs::RunScope run("outerplanar", inst.graph->n(), inst.graph->m());
-  return finalize(outerplanarity_stage(inst, params, rng, faults));
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_biconnected_outerplanarity(const Graph& g,

@@ -40,6 +40,7 @@
 #include "protocols/forest_encoding.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/nesting.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/spanning_tree.hpp"
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
@@ -204,8 +205,7 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
 
 Outcome run_path_outerplanarity(const PathOuterplanarityInstance& inst, const PoParams& params,
                                 Rng& rng, FaultInjector* faults) {
-  const obs::RunScope run("path-outerplanar", inst.graph->n(), inst.graph->m());
-  return finalize(path_outerplanarity_stage(inst, params, rng, faults));
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_path_outerplanarity_baseline_pls(const PathOuterplanarityInstance& inst) {

@@ -8,6 +8,7 @@
 #include "graph/planarity.hpp"
 #include "protocols/forest_encoding.hpp"
 #include "protocols/path_outerplanarity.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/spanning_tree.hpp"
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
@@ -294,13 +295,11 @@ StageResult planar_embedding_stage(const PlanarEmbeddingInstance& inst, const Pe
 
 Outcome run_planar_embedding(const PlanarEmbeddingInstance& inst, const PeParams& params,
                              Rng& rng, FaultInjector* faults) {
-  const obs::RunScope run("embedding", inst.graph->n(), inst.graph->m());
-  return finalize(planar_embedding_stage(inst, params, rng, faults));
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
-Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
-                      FaultInjector* faults) {
-  const obs::RunScope run("planarity", inst.graph->n(), inst.graph->m());
+StageResult planarity_stage(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
+                            FaultInjector* faults) {
   const Graph& g = *inst.graph;
   // The prover picks (or fabricates) a rotation system.
   RotationSystem rot;
@@ -334,7 +333,12 @@ Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng
 
   PlanarEmbeddingInstance pe{&g, &rot};
   const StageResult sr = planar_embedding_stage(pe, params, rng, faults);
-  return finalize(compose_parallel(ship, sr));
+  return compose_parallel(ship, sr);
+}
+
+Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
+                      FaultInjector* faults) {
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_planarity_baseline_pls(const PlanarityInstance& inst) {

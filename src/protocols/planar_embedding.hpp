@@ -84,6 +84,13 @@ struct PlanarityInstance {
   const RotationSystem* certificate = nullptr;
 };
 
+/// Rotation shipping (O(log Delta) bits per edge, charged along the
+/// degeneracy orientation) composed with the embedded-planarity stage on the
+/// claimed rotation. Exposed so the protocol registry and run_planarity share
+/// one body.
+StageResult planarity_stage(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
+                            FaultInjector* faults = nullptr);
+
 Outcome run_planarity(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
                       FaultInjector* faults = nullptr);
 

@@ -1,0 +1,307 @@
+#include "protocols/registry.hpp"
+
+#include <array>
+
+#include "gen/generators.hpp"
+#include "graph/degeneracy.hpp"
+#include "obs/metrics.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+// ------------------------------------------------------------------ run fns
+//
+// Each entry point is the task's full execution: RunScope (metrics record
+// keyed by the canonical task name) around the stage composition. The run_*
+// free functions are wrappers over these via run_protocol, so the bodies here
+// are THE protocol executions — bit-for-bit the pre-registry ones.
+
+Outcome run_lr(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const LrSortingInstance& inst = *std::get<const LrSortingInstance*>(i.ref);
+  const obs::RunScope run("lr-sorting", inst.graph->n(), inst.graph->m());
+  return finalize(lr_sorting_stage(inst, {opt.c}, rng, nullptr, faults));
+}
+
+Outcome run_po(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const PathOuterplanarityInstance& inst = *std::get<const PathOuterplanarityInstance*>(i.ref);
+  const obs::RunScope run("path-outerplanar", inst.graph->n(), inst.graph->m());
+  return finalize(path_outerplanarity_stage(inst, {opt.c}, rng, faults));
+}
+
+Outcome run_op(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const OuterplanarityInstance& inst = *std::get<const OuterplanarityInstance*>(i.ref);
+  const obs::RunScope run("outerplanar", inst.graph->n(), inst.graph->m());
+  return finalize(outerplanarity_stage(inst, {opt.c}, rng, faults));
+}
+
+Outcome run_pe(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const PlanarEmbeddingInstance& inst = *std::get<const PlanarEmbeddingInstance*>(i.ref);
+  const obs::RunScope run("embedding", inst.graph->n(), inst.graph->m());
+  return finalize(planar_embedding_stage(inst, {opt.c}, rng, faults));
+}
+
+Outcome run_pl(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const PlanarityInstance& inst = *std::get<const PlanarityInstance*>(i.ref);
+  const obs::RunScope run("planarity", inst.graph->n(), inst.graph->m());
+  return finalize(planarity_stage(inst, {opt.c}, rng, faults));
+}
+
+Outcome run_sp(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const SeriesParallelInstance& inst = *std::get<const SeriesParallelInstance*>(i.ref);
+  const obs::RunScope run("series-parallel", inst.graph->n(), inst.graph->m());
+  return finalize(series_parallel_stage(inst, {opt.c}, rng, faults));
+}
+
+Outcome run_tw(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const Treewidth2Instance& inst = *std::get<const Treewidth2Instance*>(i.ref);
+  const obs::RunScope run("treewidth2", inst.graph->n(), inst.graph->m());
+  return finalize(treewidth2_stage(inst, {opt.c}, rng, faults));
+}
+
+// ------------------------------------------------------------ PLS baselines
+
+Outcome pls_lr(const Instance& i) {
+  return run_lr_sorting_baseline_pls(*std::get<const LrSortingInstance*>(i.ref));
+}
+Outcome pls_po(const Instance& i) {
+  return run_path_outerplanarity_baseline_pls(*std::get<const PathOuterplanarityInstance*>(i.ref));
+}
+Outcome pls_op(const Instance& i) {
+  return run_outerplanarity_baseline_pls(*std::get<const OuterplanarityInstance*>(i.ref));
+}
+Outcome pls_pl(const Instance& i) {
+  return run_planarity_baseline_pls(*std::get<const PlanarityInstance*>(i.ref));
+}
+Outcome pls_sp(const Instance& i) {
+  return run_series_parallel_baseline_pls(*std::get<const SeriesParallelInstance*>(i.ref));
+}
+Outcome pls_tw(const Instance& i) {
+  return run_treewidth2_baseline_pls(*std::get<const Treewidth2Instance*>(i.ref));
+}
+
+// Textbook one-round PLS label widths (the E-SEP comparison column).
+int bits_lr(int n) { return ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_po(int n) { return 3 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_op(int n) { return 4 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_pe(int n) { return 3 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_pl(int n) { return 6 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_sp(int n) { return 4 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_tw(int n) { return 4 * ceil_log2(static_cast<std::uint64_t>(n)); }
+
+// -------------------------------------------------------- instance adapters
+
+/// Wraps a heap-held per-task struct (field `inst`) as a BoundInstance.
+template <typename Holder>
+BoundInstance hold(std::shared_ptr<Holder> h) {
+  const Instance view = make_instance(h->inst);
+  return BoundInstance(std::move(h), view);
+}
+
+BoundInstance bind_lr(const GraphFile& gf) {
+  LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
+  LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
+  struct H {
+    LrSortingInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, *gf.order, *gf.tails, {}}}));
+}
+
+BoundInstance bind_po(const GraphFile& gf) {
+  struct H {
+    PathOuterplanarityInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, gf.order}}));
+}
+
+BoundInstance bind_op(const GraphFile& gf) {
+  struct H {
+    OuterplanarityInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, std::nullopt}}));
+}
+
+BoundInstance bind_pe(const GraphFile& gf) {
+  LRDIP_CHECK_MSG(gf.rotation.has_value(), "embedding needs a 'rotation' section");
+  struct H {
+    PlanarEmbeddingInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, &*gf.rotation}}));
+}
+
+BoundInstance bind_pl(const GraphFile& gf) {
+  struct H {
+    PlanarityInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, gf.rotation ? &*gf.rotation : nullptr}}));
+}
+
+BoundInstance bind_sp(const GraphFile& gf) {
+  struct H {
+    SeriesParallelInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, std::nullopt}}));
+}
+
+BoundInstance bind_tw(const GraphFile& gf) {
+  struct H {
+    Treewidth2Instance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, std::nullopt}}));
+}
+
+// Yes-instance generators. Families, parameters, and per-size rng usage match
+// the seed-pinned E-PROOFSIZE sweep exactly — the committed communication
+// budgets in bench/budgets/ are derived from these.
+
+BoundInstance yes_lr(int n, Rng& rng) {
+  struct H {
+    LrInstance gen;
+    LrSortingInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_lr_yes(n, 1.0, rng);
+  h->inst = {&h->gen.graph, h->gen.order, lr_claimed_tails(h->gen),
+             accountable_endpoints(h->gen.graph)};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_po(int n, Rng& rng) {
+  struct H {
+    PathOuterplanarInstance gen;
+    PathOuterplanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_path_outerplanar(n, 1.0, rng);
+  h->inst = {&h->gen.graph, h->gen.order};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_op(int n, Rng& rng) {
+  struct H {
+    OuterplanarCertInstance gen;
+    OuterplanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_outerplanar_with_cert(n, std::max(1, n / 64), rng);
+  h->inst = {&h->gen.graph, h->gen.block_cycles};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_pe(int n, Rng& rng) {
+  struct H {
+    PlanarInstance gen;
+    PlanarEmbeddingInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_planar(n, 0.3, rng);
+  h->inst = {&h->gen.graph, &h->gen.rotation};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_pl(int n, Rng& rng) {
+  struct H {
+    PlanarInstance gen;
+    PlanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_planar(n, 0.3, rng);
+  h->inst = {&h->gen.graph, &h->gen.rotation};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_sp(int n, Rng& rng) {
+  struct H {
+    SpInstance gen;
+    SeriesParallelInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_series_parallel(n, rng);
+  h->inst = {&h->gen.graph, h->gen.ears};
+  return hold(std::move(h));
+}
+
+BoundInstance yes_tw(int n, Rng& rng) {
+  struct H {
+    Tw2CertInstance gen;
+    Treewidth2Instance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_treewidth2_with_cert(n, std::max(1, n / 64), rng);
+  h->inst = {&h->gen.graph, h->gen.block_ears};
+  return hold(std::move(h));
+}
+
+// ---------------------------------------------------------------- the table
+
+constexpr std::array<ProtocolSpec, kNumTasks> kRegistry{{
+    {Task::lr_sorting, "lr-sorting", "Lem 4.2", kCertOrder | kCertTails, kCertOrder | kCertTails,
+     run_lr, pls_lr, bits_lr, bind_lr, yes_lr},
+    {Task::path_outerplanar, "path-outerplanar", "Thm 1.2", 0, kCertOrder, run_po, pls_po,
+     bits_po, bind_po, yes_po},
+    {Task::outerplanar, "outerplanar", "Thm 1.3", 0, 0, run_op, pls_op, bits_op, bind_op,
+     yes_op},
+    {Task::embedding, "embedding", "Thm 1.4", kCertRotation, kCertRotation, run_pe, nullptr,
+     bits_pe, bind_pe, yes_pe},
+    {Task::planarity, "planarity", "Thm 1.5", 0, kCertRotation, run_pl, pls_pl, bits_pl,
+     bind_pl, yes_pl},
+    {Task::series_parallel, "series-parallel", "Thm 1.6", 0, 0, run_sp, pls_sp, bits_sp,
+     bind_sp, yes_sp},
+    {Task::treewidth2, "treewidth2", "Thm 1.7", 0, 0, run_tw, pls_tw, bits_tw, bind_tw,
+     yes_tw},
+}};
+
+}  // namespace
+
+const Graph& Instance::graph() const {
+  return std::visit([](const auto* inst) -> const Graph& { return *inst->graph; }, ref);
+}
+
+std::span<const ProtocolSpec, kNumTasks> protocol_registry() { return kRegistry; }
+
+const ProtocolSpec& protocol_spec(Task t) {
+  const int i = static_cast<int>(t);
+  LRDIP_CHECK(i >= 0 && i < kNumTasks);
+  const ProtocolSpec& spec = kRegistry[static_cast<std::size_t>(i)];
+  LRDIP_CHECK(spec.task == t);  // enum order and table order must agree
+  return spec;
+}
+
+const char* task_name(Task t) { return protocol_spec(t).name; }
+
+std::optional<Task> task_from_name(std::string_view name) {
+  for (const ProtocolSpec& spec : kRegistry) {
+    if (name == spec.name) return spec.task;
+  }
+  return std::nullopt;
+}
+
+std::string task_name_list(std::string_view sep) {
+  std::string out;
+  for (const ProtocolSpec& spec : kRegistry) {
+    if (!out.empty()) out += sep;
+    out += spec.name;
+  }
+  return out;
+}
+
+Outcome run_protocol(const Instance& inst, const RunOptions& opt, Rng& rng,
+                     FaultInjector* faults) {
+  return protocol_spec(inst.task()).run(inst, opt, rng, faults);
+}
+
+Outcome run_protocol_baseline_pls(const Instance& inst) {
+  const ProtocolSpec& spec = protocol_spec(inst.task());
+  LRDIP_CHECK_MSG(spec.run_pls != nullptr,
+                  std::string(spec.name) + " has no executable PLS baseline");
+  return spec.run_pls(inst);
+}
+
+BoundInstance bind_instance(Task t, const GraphFile& gf) { return protocol_spec(t).bind_file(gf); }
+
+BoundInstance make_yes_instance(Task t, int n, Rng& rng) {
+  return protocol_spec(t).make_yes(n, rng);
+}
+
+}  // namespace lrdip

@@ -10,6 +10,7 @@
 #include "protocols/lr_sorting.hpp"
 #include "protocols/nesting.hpp"
 #include "protocols/path_outerplanarity.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/spanning_tree.hpp"
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
@@ -235,8 +236,7 @@ StageResult series_parallel_stage(const SeriesParallelInstance& inst,
 
 Outcome run_series_parallel(const SeriesParallelInstance& inst, const SpProtocolParams& params,
                             Rng& rng, FaultInjector* faults) {
-  const obs::RunScope run("series-parallel", inst.graph->n(), inst.graph->m());
-  return finalize(series_parallel_stage(inst, params, rng, faults));
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_series_parallel_baseline_pls(const SeriesParallelInstance& inst) {
@@ -250,9 +250,8 @@ Outcome run_series_parallel_baseline_pls(const SeriesParallelInstance& inst) {
   return o;
 }
 
-Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
-                       FaultInjector* faults) {
-  const obs::RunScope run("treewidth2", inst.graph->n(), inst.graph->m());
+StageResult treewidth2_stage(const Treewidth2Instance& inst, const SpProtocolParams& params,
+                             Rng& rng, FaultInjector* faults) {
   const obs::ScopedTimer timer("treewidth2_stage");
   const Graph& g = *inst.graph;
   const int n = g.n();
@@ -303,7 +302,12 @@ Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& p
     }
   }
   result.rounds = std::max(result.rounds, kSeriesParallelRounds);
-  return finalize(result);
+  return result;
+}
+
+Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
+                       FaultInjector* faults) {
+  return run_protocol(make_instance(inst), {params.c}, rng, faults);
 }
 
 Outcome run_treewidth2_baseline_pls(const Treewidth2Instance& inst) {

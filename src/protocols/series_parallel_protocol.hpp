@@ -69,6 +69,12 @@ struct Treewidth2Instance {
   std::optional<std::vector<EarDecomposition>> block_ears;
 };
 
+/// Block-cut anchoring (BFS spanning-tree commitment + d(C) mod 3 labels)
+/// composed with one SP stage per biconnected block, host-mapped. Exposed so
+/// the protocol registry and run_treewidth2 share one body.
+StageResult treewidth2_stage(const Treewidth2Instance& inst, const SpProtocolParams& params,
+                             Rng& rng, FaultInjector* faults = nullptr);
+
 Outcome run_treewidth2(const Treewidth2Instance& inst, const SpProtocolParams& params, Rng& rng,
                        FaultInjector* faults = nullptr);
 
