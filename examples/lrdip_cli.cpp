@@ -5,6 +5,8 @@
 //   lrdip gen <family> <n> <out-file> [--seed S]
 //   lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]
 //         [--models m1,m2,...] [--seed S] [--c C] [--trials T]
+//   lrdip soundness --task <name> [--strategy S] [--n N] [--trials T]
+//         [--seed S] [--c C] [--json]
 //   lrdip list-tasks
 //
 // The task tokens, their certificate requirements, and the dispatch itself
@@ -30,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/estimate.hpp"
 #include "dip/faults.hpp"
 #include "dip/parallel.hpp"
 #include "dip/runtime.hpp"
@@ -51,6 +54,8 @@ int usage() {
                "  lrdip gen <family> <n> <out-file> [--seed S]\n"
                "  lrdip faults <task> <graph-file> [--rate R] [--fault-seed F]\n"
                "        [--models m1,m2,...] [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
+               "  lrdip soundness --task <name> [--strategy replay|greedy|seeded-random]\n"
+               "        [--n N] [--trials T (default 24)] [--seed S] [--c C] [--json]\n"
                "  lrdip list-tasks\n"
                "tasks:    "
             << task_name_list(" ")
@@ -74,6 +79,11 @@ struct Options {
   std::uint64_t fault_seed = 1;
   std::uint32_t models = kAllFaultModels;
   std::string models_arg = "all";
+  // soundness subcommand only:
+  std::string task;
+  std::string strategy = "greedy";
+  int n = 256;
+  bool json = false;
 };
 
 std::uint32_t parse_models(const std::string& spec) {
@@ -117,6 +127,14 @@ Options parse_options(int argc, char** argv, int from) {
       opt.metrics = next();
       LRDIP_CHECK_MSG(opt.metrics == "json" || opt.metrics == "csv",
                       "--metrics expects json or csv");
+    } else if (a == "--task") {
+      opt.task = next();
+    } else if (a == "--strategy") {
+      opt.strategy = next();
+    } else if (a == "--n") {
+      opt.n = std::stoi(next());
+    } else if (a == "--json") {
+      opt.json = true;
     } else {
       throw InvariantError("unknown option: " + a);
     }
@@ -295,6 +313,34 @@ int run_faults(const std::string& task, const std::string& path, const Options& 
   return 0;
 }
 
+int run_soundness(const Options& opt) {
+  LRDIP_CHECK_MSG(!opt.task.empty(), "soundness requires --task <name>");
+  const Task t = task_or_throw(opt.task);
+  const auto strat = adversary::strategy_from_name(opt.strategy);
+  LRDIP_CHECK_MSG(strat.has_value(), "unknown strategy: " + opt.strategy +
+                                         " (strategies: replay greedy seeded-random)");
+  const Runtime rt(Runtime::Config{{opt.c}});
+  adversary::SoundnessEstimator::Options eopt;
+  // --trials defaults to 1 for the verification subcommands; a 1-draw
+  // soundness estimate is meaningless, so the default here is 24.
+  eopt.trials = opt.trials > 1 ? opt.trials : 24;
+  eopt.seed = opt.seed;
+  const adversary::SoundnessEstimator est(rt, eopt);
+  const adversary::SoundnessPoint p = est.estimate(t, opt.n, *strat);
+  if (opt.json) {
+    std::cout << adversary::point_to_json(p, eopt.alpha) << "\n";
+  } else {
+    std::cout << "soundness " << opt.task << " (" << adversary::strategy_name(*strat)
+              << ", n=" << opt.n << "): accepted " << p.acceptance.accepted << "/"
+              << p.acceptance.trials << "  rate=" << p.acceptance.rate()
+              << "  upper(95%)=" << p.acceptance.upper(eopt.alpha)
+              << "  honest=" << p.honest.accepted << "/" << p.honest.trials << "\n";
+  }
+  // The honest run accepting its near-no instance is the only failure mode;
+  // a nonzero cheating acceptance is a *measurement*, not an error.
+  return p.honest.accepted == 0 ? 0 : 1;
+}
+
 int run_gen(const std::string& family, int n, const std::string& out, const Options& opt) {
   Rng rng(opt.seed);
   GraphFile gf;
@@ -366,6 +412,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "batch") {
       return run_batch(argv[2], parse_options(argc, argv, 3));
+    }
+    if (cmd == "soundness") {
+      return run_soundness(parse_options(argc, argv, 2));
     }
     return run_task(cmd, argv[2], parse_options(argc, argv, 3));
   } catch (const std::exception& ex) {

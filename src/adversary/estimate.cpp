@@ -1,0 +1,151 @@
+#include "adversary/estimate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lrdip::adversary {
+namespace {
+
+/// log P[Bin(n, p) <= k], via log-sum-exp over exact log binomial terms.
+double log_binom_cdf(int k, int n, double p) {
+  if (p <= 0.0) return 0.0;                                    // all mass at 0 <= k
+  if (p >= 1.0) return k >= n ? 0.0 : -std::numeric_limits<double>::infinity();
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(static_cast<std::size_t>(k) + 1);
+  for (int i = 0; i <= k; ++i) {
+    const double lc = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) - std::lgamma(n - i + 1.0);
+    const double t = lc + i * lp + (n - i) * lq;
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  double sum = 0.0;
+  for (const double t : terms) sum += std::exp(t - max_term);
+  return max_term + std::log(sum);
+}
+
+}  // namespace
+
+double clopper_pearson_upper(int successes, int trials, double alpha) {
+  LRDIP_CHECK(trials >= 0 && successes >= 0 && successes <= trials);
+  LRDIP_CHECK(alpha > 0.0 && alpha < 1.0);
+  if (trials == 0 || successes == trials) return 1.0;
+  const double log_alpha = std::log(alpha);
+  // P[Bin(trials, p) <= successes] is strictly decreasing in p, equals 1 at
+  // p = 0 and < alpha at p = 1 (successes < trials); bisect to the crossing.
+  double lo = static_cast<double>(successes) / trials;
+  double hi = 1.0;
+  for (int it = 0; it < 200 && hi - lo > 1e-12; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (log_binom_cdf(successes, trials, mid) > log_alpha ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+std::string point_to_json(const SoundnessPoint& p, double alpha, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\"task\": \"" << task_name(p.task) << "\", \"strategy\": \""
+     << strategy_name(p.strategy) << "\", \"n\": " << p.n << ", \"trials\": "
+     << p.acceptance.trials << ", \"accepted\": " << p.acceptance.accepted
+     << ", \"rate\": " << p.acceptance.rate() << ", \"upper\": " << p.acceptance.upper(alpha)
+     << ", \"alpha\": " << alpha << ", \"honest_accepted\": " << p.honest.accepted
+     << ", \"instance_seed\": " << p.instance_seed << ", \"coin_seed0\": " << p.coin_seed0
+     << "}";
+  return os.str();
+}
+
+std::uint64_t SoundnessEstimator::instance_seed(Task t, int n) const {
+  // splitmix64-style mixing of (seed, task, n) into one stream origin.
+  std::uint64_t z = opt_.seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1) +
+                    static_cast<std::uint64_t>(n);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+AcceptanceEstimate SoundnessEstimator::honest_acceptance(const Instance& inst,
+                                                         std::uint64_t coin0) const {
+  const std::vector<BatchItem> items = replicate_item(inst, coin0, opt_.trials);
+  AcceptanceEstimate est;
+  est.trials = opt_.trials;
+  for (const Outcome& o : rt_->run_batch(items)) est.accepted += o.accepted ? 1 : 0;
+  return est;
+}
+
+AcceptanceEstimate SoundnessEstimator::completeness(Task t, int n) const {
+  Rng gen(instance_seed(t, n));
+  const BoundInstance yes = make_yes_instance(t, n, gen);
+  return honest_acceptance(yes.view(), instance_seed(t, n) ^ 0x517cc1b727220a95ULL);
+}
+
+SoundnessPoint SoundnessEstimator::estimate(Task t, int n, Strategy s) const {
+  SoundnessPoint p;
+  p.task = t;
+  p.strategy = s;
+  p.n = n;
+  p.instance_seed = instance_seed(t, n);
+  p.coin_seed0 = p.instance_seed ^ 0x517cc1b727220a95ULL;
+
+  Rng gen(p.instance_seed);
+  const BoundInstance no = make_near_no_instance(t, n, gen);
+  p.honest = honest_acceptance(no.view(), p.coin_seed0);
+  p.acceptance.trials = opt_.trials;
+
+  switch (s) {
+    case Strategy::seeded_random: {
+      // The only strategy that is pure per-run state: replicate through the
+      // batch engine with one prover object per item.
+      std::vector<BatchItem> items = replicate_item(no.view(), p.coin_seed0, opt_.trials);
+      std::vector<std::unique_ptr<SeededRandomProver>> provers;
+      provers.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        provers.push_back(std::make_unique<SeededRandomProver>(items[i].seed ^ opt_.seed));
+        items[i].faults = provers.back().get();
+      }
+      for (const Outcome& o : rt_->run_batch(items)) p.acceptance.accepted += o.accepted ? 1 : 0;
+      break;
+    }
+    case Strategy::replay: {
+      // Capture the honest transcript of the SAME-seed yes-instance under
+      // each coin seed and replay it on the no-instance. Sequential per seed:
+      // one captured transcript lives at a time, which bounds memory at the
+      // large end of the sweep.
+      Rng gen_yes(p.instance_seed);
+      const BoundInstance yes = make_yes_instance(t, n, gen_yes);
+      for (int i = 0; i < opt_.trials; ++i) {
+        const std::uint64_t coin_seed = p.coin_seed0 + static_cast<std::uint64_t>(i);
+        TranscriptRecorder recorder;
+        Rng yes_rng(coin_seed);
+        (void)rt_->run(yes.view(), yes_rng, &recorder);
+        const CapturedTranscript captured = recorder.take();
+        ReplayProver prover(&captured, coin_seed);
+        Rng no_rng(coin_seed);
+        p.acceptance.accepted += rt_->run(no.view(), no_rng, &prover).accepted ? 1 : 0;
+      }
+      break;
+    }
+    case Strategy::greedy: {
+      // One local search per coin draw: the prover adapts to that draw's
+      // coins, which is the adversary the soundness error quantifies over.
+      GreedyOptions gopt = opt_.greedy;
+      gopt.seed ^= opt_.seed;
+      for (int i = 0; i < opt_.trials; ++i) {
+        const std::uint64_t coin_seed = p.coin_seed0 + static_cast<std::uint64_t>(i);
+        const GreedyResult r = greedy_search(*rt_, no.view(), coin_seed, gopt);
+        p.acceptance.accepted += r.outcome.accepted ? 1 : 0;
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace lrdip::adversary

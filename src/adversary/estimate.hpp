@@ -1,0 +1,90 @@
+// Statistical soundness estimation.
+//
+// The paper's quantitative promises — perfect completeness, soundness error
+// eps <= c / polylog n (Theorems 1.2-1.7) — are probabilities over the
+// verifier's public coins. The estimator turns them into measured numbers:
+// for one (task, size, strategy) it runs K independent verifier coin draws of
+// the task's near-yes no-instance through the batch Runtime, with a fresh
+// cheating prover attached per draw, and reports the acceptance rate with a
+// one-sided Clopper-Pearson upper confidence bound. An upper bound below the
+// paper's eps certifies (statistically) that the implementation is at least
+// as sound as claimed against that strategy; the completeness side is the
+// same machinery on honest yes-runs, where anything below rate 1 is a bug.
+//
+// Everything is derived from (task, n, options.seed): instance seeds, coin
+// seeds, and per-run prover seeds are mixed deterministically, and each
+// replicated run owns its prover object, so acceptance counts are
+// bit-identical at any thread count (the run_batch contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/greedy.hpp"
+#include "adversary/prover.hpp"
+#include "dip/runtime.hpp"
+#include "protocols/registry.hpp"
+
+namespace lrdip::adversary {
+
+/// Smallest p with P[Bin(trials, p) <= successes] <= alpha (the exact
+/// one-sided Clopper-Pearson upper bound); 1.0 when successes == trials.
+/// Dependency-free: bisection on the binomial tail evaluated in log space.
+double clopper_pearson_upper(int successes, int trials, double alpha = 0.05);
+
+struct AcceptanceEstimate {
+  int accepted = 0;
+  int trials = 0;
+
+  double rate() const { return trials > 0 ? static_cast<double>(accepted) / trials : 0.0; }
+  double upper(double alpha = 0.05) const {
+    return clopper_pearson_upper(accepted, trials, alpha);
+  }
+};
+
+/// One measured (task, strategy, n) cell.
+struct SoundnessPoint {
+  Task task = Task::lr_sorting;
+  Strategy strategy = Strategy::replay;
+  int n = 0;
+  std::uint64_t instance_seed = 0;
+  std::uint64_t coin_seed0 = 0;
+  AcceptanceEstimate honest;      ///< honest runs of the same no-instance (expect 0)
+  AcceptanceEstimate acceptance;  ///< runs with the cheating prover attached
+};
+
+/// JSON object for one point (no trailing newline); hand-rolled like
+/// obs/emit.hpp — the schema is flat and the library carries no JSON dep.
+std::string point_to_json(const SoundnessPoint& p, double alpha, int indent = 0);
+
+class SoundnessEstimator {
+ public:
+  struct Options {
+    /// Independent verifier coin draws per (instance, strategy).
+    int trials = 64;
+    /// Master seed: instance, coin, and prover seeds all derive from it.
+    std::uint64_t seed = 1;
+    /// Confidence level of the upper bound (one-sided).
+    double alpha = 0.05;
+    GreedyOptions greedy{};
+  };
+
+  SoundnessEstimator(const Runtime& rt, Options opt) : rt_(&rt), opt_(opt) {}
+
+  const Options& options() const { return opt_; }
+
+  /// Attacks the task's make_near_no instance at size n with one strategy.
+  SoundnessPoint estimate(Task t, int n, Strategy s) const;
+
+  /// Completeness side: honest runs on make_yes under `trials` coin seeds.
+  AcceptanceEstimate completeness(Task t, int n) const;
+
+ private:
+  std::uint64_t instance_seed(Task t, int n) const;
+  AcceptanceEstimate honest_acceptance(const Instance& inst, std::uint64_t coin0) const;
+
+  const Runtime* rt_;
+  Options opt_;
+};
+
+}  // namespace lrdip::adversary

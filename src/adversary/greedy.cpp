@@ -1,0 +1,105 @@
+#include "adversary/greedy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lrdip::adversary {
+
+void GreedyProver::attack(LabelStore& labels, int call_idx) {
+  const Graph& g = labels.graph();
+  for (const Edit& e : *script_) {
+    if (e.call_idx != call_idx || e.round < 0 || e.round >= labels.rounds()) continue;
+    if (e.is_edge) {
+      if (e.id < 0 || e.id >= g.m()) continue;
+      labels.mutable_edge_label(e.round, static_cast<EdgeId>(e.id))
+          .forge_value(static_cast<std::size_t>(e.field), e.value);
+    } else {
+      if (e.id < 0 || e.id >= g.n()) continue;
+      labels.mutable_node_label(e.round, static_cast<NodeId>(e.id))
+          .forge_value(static_cast<std::size_t>(e.field), e.value);
+    }
+  }
+}
+
+namespace {
+
+/// A rewritable slot in the captured honest transcript.
+struct Site {
+  int call_idx;
+  bool is_edge;
+  int round;
+  std::int64_t id;
+  int field;
+  int bits;
+};
+
+std::vector<Site> enumerate_sites(const CapturedTranscript& t) {
+  std::vector<Site> sites;
+  for (std::size_t c = 0; c < t.calls.size(); ++c) {
+    const LabelSnapshot& s = t.calls[c];
+    const auto add = [&](bool is_edge, int width, const std::vector<Label>& slab) {
+      for (std::size_t i = 0; i < slab.size(); ++i) {
+        const Label& l = slab[i];
+        const int round = static_cast<int>(i) / width;
+        const auto id = static_cast<std::int64_t>(i) % width;
+        for (std::size_t f = 0; f < l.num_fields(); ++f) {
+          const int bits = l.field_bits(f);
+          if (bits < 1 || bits > 64) continue;
+          sites.push_back(
+              {static_cast<int>(c), is_edge, round, id, static_cast<int>(f), bits});
+        }
+      }
+    };
+    if (s.n > 0) add(false, s.n, s.node_labels);
+    if (s.m > 0) add(true, s.m, s.edge_labels);
+  }
+  return sites;
+}
+
+int score_of(const Outcome& o, int n) {
+  return o.accepted ? n : std::max(0, n - o.rejected_nodes);
+}
+
+}  // namespace
+
+GreedyResult greedy_search(const Runtime& rt, const Instance& inst, std::uint64_t coin_seed,
+                           const GreedyOptions& opt) {
+  const int n = inst.graph().n();
+  GreedyResult best;
+
+  // Honest baseline: capture the transcript (for the site list) and score it.
+  TranscriptRecorder recorder;
+  Rng base_rng(coin_seed);
+  best.outcome = rt.run(inst, base_rng, &recorder);
+  best.baseline_score = score_of(best.outcome, n);
+  best.score = best.baseline_score;
+  const CapturedTranscript transcript = recorder.take();
+  const std::vector<Site> sites = enumerate_sites(transcript);
+  if (sites.empty() || best.outcome.accepted) return best;
+
+  // Proposals are (site, fresh value); evaluation replays the SAME coin seed,
+  // so the climb is deterministic given (instance, coin_seed, opt.seed).
+  Rng propose(opt.seed ^ (coin_seed * 0x9e3779b97f4a7c15ULL));
+  for (int it = 0; it < opt.iterations; ++it) {
+    const Site& s = sites[propose.uniform(sites.size())];
+    const std::uint64_t mask =
+        s.bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << s.bits) - 1;
+    EditScript candidate = best.script;
+    candidate.push_back(
+        {s.call_idx, s.is_edge, s.round, s.id, s.field, propose.next_u64() & mask});
+
+    GreedyProver prover(&candidate, coin_seed);
+    Rng run_rng(coin_seed);
+    const Outcome o = rt.run(inst, run_rng, &prover);
+    const int score = score_of(o, n);
+    if (score > best.score) {
+      best.score = score;
+      best.outcome = o;
+      best.script = std::move(candidate);
+      if (o.accepted) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace lrdip::adversary

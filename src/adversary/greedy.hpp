@@ -1,0 +1,73 @@
+// Greedy local-search prover.
+//
+// The strongest scripted attack in the hierarchy: starting from the honest
+// (rejecting) transcript of a no-instance, hill-climb over single-field
+// rewrites — each respecting the field's declared width, so the transcript
+// stays well-formed under the PR 2 checked-read layer — keeping an edit
+// whenever it strictly increases the number of accepting nodes. The search
+// re-executes the protocol per candidate through the batch Runtime with the
+// SAME coin seed, which models a prover who has seen this execution's public
+// coins and picks the best response to them; the soundness theorems promise
+// that even this prover convinces at most an eps = 1/polylog n fraction of
+// coin draws, which is exactly what the estimator measures.
+//
+// The search itself is sequential and seeded, so its result — and therefore
+// the estimator's acceptance counts — is bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/prover.hpp"
+#include "dip/runtime.hpp"
+
+namespace lrdip::adversary {
+
+/// One committed-field rewrite, addressed the way ReplayProver addresses
+/// slots: by corrupt-call index, then (round, node-or-edge id, field).
+struct Edit {
+  int call_idx = 0;
+  bool is_edge = false;
+  int round = 0;
+  std::int64_t id = 0;
+  int field = 0;
+  std::uint64_t value = 0;
+};
+using EditScript = std::vector<Edit>;
+
+/// Applies a fixed EditScript at the transcript seam. The script is the
+/// *output* of greedy_search; the prover object itself is cheap and fresh per
+/// execution, like every FaultInjector.
+class GreedyProver : public CheatingProver {
+ public:
+  /// `script` must outlive the prover.
+  GreedyProver(const EditScript* script, std::uint64_t seed)
+      : CheatingProver(seed), script_(script) {}
+
+ protected:
+  void attack(LabelStore& labels, int call_idx) override;
+
+ private:
+  const EditScript* script_;
+};
+
+struct GreedyOptions {
+  /// Candidate edits proposed (each costs one protocol execution).
+  int iterations = 48;
+  /// Seed of the proposal stream (independent of the verifier's coin seed).
+  std::uint64_t seed = 1;
+};
+
+struct GreedyResult {
+  EditScript script;      ///< best edit script found
+  Outcome outcome;        ///< outcome of the final run under `script`
+  int baseline_score = 0; ///< accepting nodes of the unedited honest run
+  int score = 0;          ///< accepting nodes under `script` (n on acceptance)
+};
+
+/// Hill-climbs an EditScript for one (instance, coin seed) pair. Scoring is
+/// n - rejected_nodes; an accepting run scores n and stops the search early.
+GreedyResult greedy_search(const Runtime& rt, const Instance& inst, std::uint64_t coin_seed,
+                           const GreedyOptions& opt);
+
+}  // namespace lrdip::adversary

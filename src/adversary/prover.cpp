@@ -1,0 +1,126 @@
+#include "adversary/prover.hpp"
+
+#include <algorithm>
+
+#include "support/digest.hpp"
+
+namespace lrdip::adversary {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::replay:
+      return "replay";
+    case Strategy::greedy:
+      return "greedy";
+    case Strategy::seeded_random:
+      return "seeded-random";
+  }
+  return "?";
+}
+
+std::optional<Strategy> strategy_from_name(std::string_view name) {
+  for (int i = 0; i < kNumStrategies; ++i) {
+    const auto s = static_cast<Strategy>(i);
+    if (name == strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::uint64_t fold_label(std::uint64_t d, const Label& l) {
+  d = fnv1a_word(d, l.num_fields());
+  for (std::size_t f = 0; f < l.num_fields(); ++f) {
+    d = fnv1a_word(d, static_cast<std::uint64_t>(l.field_bits(f)));
+    d = fnv1a_word(d, l.get(f));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint64_t CapturedTranscript::digest() const {
+  std::uint64_t d = kFnvOffsetBasis;
+  d = fnv1a_word(d, calls.size());
+  for (const LabelSnapshot& s : calls) {
+    d = fnv1a_word(d, static_cast<std::uint64_t>(s.rounds));
+    d = fnv1a_word(d, static_cast<std::uint64_t>(s.n));
+    d = fnv1a_word(d, static_cast<std::uint64_t>(s.m));
+    for (const Label& l : s.node_labels) d = fold_label(d, l);
+    for (const Label& l : s.edge_labels) d = fold_label(d, l);
+  }
+  return d;
+}
+
+void TranscriptRecorder::corrupt(LabelStore& labels) {
+  const Graph& g = labels.graph();
+  LabelSnapshot snap;
+  snap.rounds = labels.rounds();
+  snap.n = g.n();
+  snap.m = g.m();
+  snap.node_labels.reserve(static_cast<std::size_t>(snap.rounds) * snap.n);
+  bool any_edge = false;
+  for (int r = 0; r < snap.rounds; ++r) {
+    for (NodeId v = 0; v < snap.n; ++v) snap.node_labels.push_back(labels.node_label(r, v));
+    for (EdgeId e = 0; e < snap.m; ++e) any_edge = any_edge || !labels.edge_label(r, e).empty();
+  }
+  if (any_edge) {
+    snap.edge_labels.reserve(static_cast<std::size_t>(snap.rounds) * snap.m);
+    for (int r = 0; r < snap.rounds; ++r) {
+      for (EdgeId e = 0; e < snap.m; ++e) snap.edge_labels.push_back(labels.edge_label(r, e));
+    }
+  }
+  transcript_.calls.push_back(std::move(snap));
+}
+
+void ReplayProver::attack(LabelStore& labels, int call_idx) {
+  if (source_ == nullptr || call_idx >= static_cast<int>(source_->calls.size())) return;
+  const LabelSnapshot& snap = source_->calls[static_cast<std::size_t>(call_idx)];
+  const Graph& g = labels.graph();
+  const int rounds = std::min(labels.rounds(), snap.rounds);
+  const int n = std::min(g.n(), snap.n);
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      labels.mutable_node_label(r, v) =
+          snap.node_labels[static_cast<std::size_t>(r) * snap.n + v];
+    }
+  }
+  if (!snap.edge_labels.empty()) {
+    const int m = std::min(g.m(), snap.m);
+    for (int r = 0; r < rounds; ++r) {
+      for (EdgeId e = 0; e < m; ++e) {
+        labels.mutable_edge_label(r, e) =
+            snap.edge_labels[static_cast<std::size_t>(r) * snap.m + e];
+      }
+    }
+  }
+}
+
+namespace {
+
+void randomize_fields(Label& l, Rng& rng) {
+  for (std::size_t f = 0; f < l.num_fields(); ++f) {
+    const int bits = l.field_bits(f);
+    if (bits < 1 || bits > 64) continue;
+    const std::uint64_t mask = bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+    l.forge_value(f, rng.next_u64() & mask);
+  }
+}
+
+}  // namespace
+
+void SeededRandomProver::attack(LabelStore& labels, int /*call_idx*/) {
+  const Graph& g = labels.graph();
+  for (int r = 0; r < labels.rounds(); ++r) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      Label& l = labels.mutable_node_label(r, v);
+      if (!l.empty()) randomize_fields(l, rng_);
+    }
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      if (labels.edge_label(r, e).empty()) continue;
+      randomize_fields(labels.mutable_edge_label(r, e), rng_);
+    }
+  }
+}
+
+}  // namespace lrdip::adversary

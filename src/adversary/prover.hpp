@@ -1,0 +1,142 @@
+// Strategic cheating provers.
+//
+// The random FaultInjector (dip/faults.hpp) realizes the paper's Byzantine
+// quantifier mechanically: it mutates transcripts blindly. The soundness
+// statements of Theorems 1.2-1.7, however, quantify over *arbitrary* provers
+// — including ones that search for the most convincing lie. This header is
+// that adversary model: CheatingProver subclasses FaultInjector, so a
+// strategic prover attaches to the exact transcript seam every protocol stage
+// already calls (between the honest prover's writes and the verifier's
+// decision), and the stages never learn which adversary is present.
+//
+// Three concrete strategies, in increasing order of adaptivity:
+//
+//   * SeededRandomProver — structured random fills: every committed field is
+//     rewritten with a fresh uniform value of its declared width, so the
+//     transcript stays well-formed and the verifier's rejection must come
+//     from the protocol's consistency checks, not from malformed wire data.
+//   * ReplayProver — the classic near-yes attack: capture the honest label
+//     stream of a nearby yes-instance (TranscriptRecorder) and replay it on a
+//     no-instance, banking on the perturbation being invisible to most nodes.
+//   * GreedyProver (adversary/greedy.hpp) — local search over label values
+//     maximizing the number of accepting nodes.
+//
+// One prover object serves ONE execution: corrupt-call indices are counted to
+// align attacks across a protocol's stage sequence, so replicated runs must
+// construct a fresh prover per run (the same contract as FaultInjector).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dip/faults.hpp"
+#include "dip/store.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip::adversary {
+
+enum class Strategy : int {
+  replay = 0,
+  greedy,
+  seeded_random,
+};
+inline constexpr int kNumStrategies = 3;
+
+const char* strategy_name(Strategy s);
+std::optional<Strategy> strategy_from_name(std::string_view name);
+
+/// The labels of one LabelStore at the moment of one corrupt() call.
+struct LabelSnapshot {
+  int rounds = 0;
+  int n = 0;
+  int m = 0;
+  std::vector<Label> node_labels;  ///< [round * n + v]
+  std::vector<Label> edge_labels;  ///< [round * m + e]; empty when no edge was labelled
+};
+
+/// The honest label stream of one execution, keyed by corrupt-call index.
+/// Protocol stages invoke the fault seam in a fixed order, so the call index
+/// aligns a yes-run capture with a structurally similar no-run replay.
+struct CapturedTranscript {
+  std::vector<LabelSnapshot> calls;
+
+  /// FNV-1a over every field's (value, width) plus the shape counters; stable
+  /// across refactors that do not change what the prover sends. The golden
+  /// transcript regression tests pin these per task.
+  std::uint64_t digest() const;
+};
+
+/// Base for strategic provers: dispatches the label seam to attack() with a
+/// running call index and leaves public coins alone (they belong to the
+/// verifier; forging them is the random injector's coin_flip model, not a
+/// prover capability).
+class CheatingProver : public FaultInjector {
+ public:
+  explicit CheatingProver(std::uint64_t seed)
+      : FaultInjector(FaultPlan{seed, 0.0, 0}), rng_(seed) {}
+
+  using FaultInjector::corrupt;
+  void corrupt(LabelStore& labels) final { attack(labels, calls_++); }
+  void corrupt(CoinStore& /*coins*/) override {}
+
+  int label_calls() const { return calls_; }
+
+ protected:
+  virtual void attack(LabelStore& labels, int call_idx) = 0;
+
+  Rng rng_;
+
+ private:
+  int calls_ = 0;
+};
+
+/// Passive observer: snapshots every label store that passes the seam and
+/// mutates nothing. Attached to an honest run it captures the transcript the
+/// ReplayProver later forges (and the digest the golden tests pin).
+class TranscriptRecorder : public FaultInjector {
+ public:
+  TranscriptRecorder() : FaultInjector(FaultPlan{0, 0.0, 0}) {}
+
+  using FaultInjector::corrupt;
+  void corrupt(LabelStore& labels) override;
+  void corrupt(CoinStore& /*coins*/) override {}
+
+  const CapturedTranscript& transcript() const { return transcript_; }
+  CapturedTranscript take() { return std::move(transcript_); }
+
+ private:
+  CapturedTranscript transcript_;
+};
+
+/// Replays a captured yes-transcript onto the attacked execution: every
+/// overlapping (call, round, node/edge) slot is overwritten with the captured
+/// label. Out-of-range calls and dimension mismatches degrade to replaying
+/// the overlap — the prover does its best with what it has.
+class ReplayProver : public CheatingProver {
+ public:
+  /// `source` must outlive the prover.
+  ReplayProver(const CapturedTranscript* source, std::uint64_t seed)
+      : CheatingProver(seed), source_(source) {}
+
+ protected:
+  void attack(LabelStore& labels, int call_idx) override;
+
+ private:
+  const CapturedTranscript* source_;
+};
+
+/// Rewrites every committed field with a uniform value of its declared width
+/// (width contracts respected, so nothing is rejected as malformed). The
+/// weakest strategy: its acceptance rate measures how much of the verifier's
+/// power comes from value consistency rather than shape checking.
+class SeededRandomProver : public CheatingProver {
+ public:
+  explicit SeededRandomProver(std::uint64_t seed) : CheatingProver(seed) {}
+
+ protected:
+  void attack(LabelStore& labels, int call_idx) override;
+};
+
+}  // namespace lrdip::adversary

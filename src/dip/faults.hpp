@@ -62,14 +62,22 @@ struct FaultPlan {
   std::uint32_t models = kAllFaultModels;
 };
 
+/// Transcript-interception seam. The base class realizes the *random*
+/// Byzantine adversary described above; `corrupt` is virtual so strategic
+/// adversaries (the cheating provers in src/adversary/) can plug into the
+/// exact same between-prover-and-verifier hook every protocol stage already
+/// calls, without the stages knowing which adversary is attached. One
+/// injector serves one execution: subclasses carry per-run state, so callers
+/// running replicated executions must attach a fresh object per run.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+  virtual ~FaultInjector() = default;
 
   /// Corrupts recorded node and edge labels across all rounds.
-  void corrupt(LabelStore& labels);
+  virtual void corrupt(LabelStore& labels);
   /// Corrupts recorded coin slots (only when coin_flip is enabled).
-  void corrupt(CoinStore& coins);
+  virtual void corrupt(CoinStore& coins);
   /// Convenience: labels, then coins.
   void corrupt(LabelStore& labels, CoinStore& coins) {
     corrupt(labels);

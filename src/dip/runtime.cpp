@@ -5,6 +5,15 @@
 
 namespace lrdip {
 
+std::vector<BatchItem> replicate_item(const Instance& inst, std::uint64_t seed0, int k) {
+  std::vector<BatchItem> items;
+  items.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    items.push_back({inst, seed0 + static_cast<std::uint64_t>(i), nullptr});
+  }
+  return items;
+}
+
 Runtime::Runtime(Config cfg) : cfg_(cfg) { pool::retain(); }
 
 Runtime::~Runtime() { pool::release(); }
@@ -30,14 +39,14 @@ std::vector<Outcome> Runtime::run_batch(std::span<const BatchItem> items) const 
         const std::size_t idx = small[static_cast<std::size_t>(i)];
         const BatchItem& it = items[idx];
         Rng rng(it.seed);
-        out[idx] = run_protocol(it.inst, cfg_.options, rng, nullptr);
+        out[idx] = run_protocol(it.inst, cfg_.options, rng, it.faults);
       },
       /*grain=*/1);
   // Within-instance axis: sequential over items, full pool inside each.
   for (const std::size_t idx : large) {
     const BatchItem& it = items[idx];
     Rng rng(it.seed);
-    out[idx] = run_protocol(it.inst, cfg_.options, rng, nullptr);
+    out[idx] = run_protocol(it.inst, cfg_.options, rng, it.faults);
   }
   return out;
 }

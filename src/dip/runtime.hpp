@@ -39,11 +39,23 @@ namespace lrdip {
 class FaultInjector;
 
 /// One unit of batch work: a borrowed instance view plus the seed of the
-/// private verifier randomness stream for this execution.
+/// private verifier randomness stream for this execution. `faults`, when
+/// non-null, is the transcript adversary attached to this execution (random
+/// FaultInjector or a strategic prover from src/adversary). Adversaries are
+/// stateful per run, so every item must carry its OWN object — items sharing
+/// one pointer would race across batch workers and break the determinism
+/// contract.
 struct BatchItem {
   Instance inst;
   std::uint64_t seed = 1;
+  FaultInjector* faults = nullptr;
 };
+
+/// The per-coin-seed replication axis: K executions of one instance that
+/// differ only in the verifier's coin seed (seed0, seed0 + 1, ...). This is
+/// how the soundness estimator turns one (instance, strategy) pair into a
+/// batch; attach per-item adversaries afterwards.
+std::vector<BatchItem> replicate_item(const Instance& inst, std::uint64_t seed0, int k);
 
 class Runtime {
  public:

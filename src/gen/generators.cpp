@@ -113,6 +113,28 @@ Graph crossing_chords_no_instance(int n, Rng& rng) {
   return g;
 }
 
+PathOuterplanarInstance path_outerplanar_order_swap_no(int n, double arc_factor, Rng& rng) {
+  LRDIP_CHECK(n >= 6);
+  PathOuterplanarInstance inst = random_path_outerplanar(n, arc_factor, rng);
+  // Four path positions a < b < c < d: the path supplies a-b, b-c, c-d, and
+  // arcs (a,c), (b,d), (a,d) complete a K4 subdivision on internally disjoint
+  // path segments. At most three edges separate this from the yes-instance.
+  const int a = static_cast<int>(rng.uniform(n - 5));
+  const int b = a + 1 + static_cast<int>(rng.uniform(n - a - 4));
+  const int c = b + 1 + static_cast<int>(rng.uniform(n - b - 3));
+  const int d = c + 1 + static_cast<int>(rng.uniform(n - c - 2));
+  for (const auto& [l, r] : {std::pair{a, c}, std::pair{b, d}, std::pair{a, d}}) {
+    if (inst.graph.find_edge(inst.order[l], inst.order[r]) == -1) {
+      inst.graph.add_edge(inst.order[l], inst.order[r]);
+    }
+  }
+  // One adjacent transposition in the committed order: the certificate the
+  // honest run ships is the near-miss a replaying prover would also use.
+  const int i = static_cast<int>(rng.uniform(n - 1));
+  std::swap(inst.order[i], inst.order[i + 1]);
+  return inst;
+}
+
 Graph spider_no_instance(int leg_len) {
   LRDIP_CHECK(leg_len >= 2);
   Graph g(1 + 3 * leg_len);
@@ -331,6 +353,16 @@ PlanarInstance corrupt_rotation(PlanarInstance inst, int k, Rng& rng) {
   }
   RotationSystem rot(inst.graph, std::move(order));
   return {std::move(inst.graph), std::move(rot)};
+}
+
+PlanarInstance forged_rotation_no(int n, double drop, Rng& rng) {
+  LRDIP_CHECK(n >= 4);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    PlanarInstance inst = corrupt_rotation(random_planar(n, drop, rng), 1 + attempt / 8, rng);
+    if (!is_planar_embedding(inst.graph, inst.rotation)) return inst;
+  }
+  LRDIP_CHECK_MSG(false, "forged_rotation_no: every corruption stayed planar");
+  return random_planar(n, drop, rng);
 }
 
 namespace {

@@ -43,6 +43,13 @@ PathOuterplanarInstance random_path_outerplanar(int n, double arc_factor, Rng& r
 /// subdivision; not outerplanar, hence not path-outerplanar).
 Graph crossing_chords_no_instance(int n, Rng& rng);
 
+/// Near-yes no-instance ("one swap in the Hamiltonian order"): a random
+/// path-outerplanar instance with (a) a K4 subdivision completed over four
+/// path positions by adding at most three arcs — so the graph itself leaves
+/// the class — and (b) one adjacent transposition in the committed order, so
+/// the shipped certificate is the near-miss a cheating prover would replay.
+PathOuterplanarInstance path_outerplanar_order_swap_no(int n, double arc_factor, Rng& rng);
+
 /// A no-instance without a Hamiltonian path: spider with 3 subdivided legs.
 Graph spider_no_instance(int leg_len);
 
@@ -104,6 +111,12 @@ Graph plant_subdivision(const Graph& host, const Graph& kernel, int subdiv, Rng&
 /// having >= 1 face of length > 3 this usually raises the genus; callers
 /// should check `is_planar_embedding` when they need a guaranteed no-instance.
 PlanarInstance corrupt_rotation(PlanarInstance inst, int k, Rng& rng);
+
+/// Near-yes no-instance for the embedding task ("forged rotation"): a random
+/// planar graph whose rotation is corrupted — retrying with progressively more
+/// transpositions — until `is_planar_embedding` is provably false. The graph
+/// stays planar; only the claimed embedding is wrong.
+PlanarInstance forged_rotation_no(int n, double drop, Rng& rng);
 
 // -------------------------------------------------- series-parallel family
 

@@ -76,6 +76,34 @@ std::vector<NodeId> greedy_path_parent(const Graph& g) {
   return parent;
 }
 
+/// The Hamiltonian path the *decoded* forest commitment spells out, or empty.
+/// Total on corrupted codes: the chain walk is bounded by n and
+/// is_hamiltonian_path re-validates size, range, distinctness, and edges.
+std::vector<NodeId> committed_path_order(const Graph& g, const std::vector<NodeId>& parent) {
+  const int n = g.n();
+  std::vector<std::vector<NodeId>> kids(n);
+  NodeId root = -1;
+  int roots = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] == -1) {
+      root = v;
+      ++roots;
+    } else if (parent[v] >= 0 && parent[v] < n) {
+      kids[parent[v]].push_back(v);
+    }
+  }
+  if (roots != 1) return {};
+  std::vector<NodeId> order;
+  order.reserve(n);
+  NodeId cur = root;
+  while (cur != -1 && static_cast<int>(order.size()) < n) {
+    order.push_back(cur);
+    cur = kids[cur].size() == 1 ? kids[cur].front() : -1;
+  }
+  if (!is_hamiltonian_path(g, order)) return {};
+  return order;
+}
+
 }  // namespace
 
 int po_repetitions(int n, int c) {
@@ -89,44 +117,18 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
   const int n = g.n();
   LRDIP_CHECK(n >= 2);
 
-  // --- Stage A: commit to a path.
+  // --- Stage A: commit to a path. Only the forest codes below matter — if
+  // the commitment (prover's order, or the greedy cover when it happens to
+  // be one Hamiltonian path) spells out a valid path, the decoded-side
+  // reconstruction after the fault seam re-derives it and stages B/C run on
+  // it; a spanning path alone certifies nothing.
   std::vector<NodeId> parent;
-  bool have_ham_path = false;
-  std::vector<NodeId> order;
   if (inst.prover_order && is_hamiltonian_path(g, *inst.prover_order)) {
-    order = *inst.prover_order;
-    have_ham_path = true;
+    const std::vector<NodeId>& order = *inst.prover_order;
     parent.assign(n, -1);
     for (int i = 1; i < n; ++i) parent[order[i]] = order[i - 1];
   } else {
     parent = greedy_path_parent(g);
-    // If the greedy cover came out as one Hamiltonian path, the prover must
-    // commit to it fully (and lose in stage B/C if the nesting fails) — a
-    // spanning path alone certifies nothing.
-    std::vector<std::vector<NodeId>> kids(n);
-    NodeId root = -1;
-    int roots = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (parent[v] == -1) {
-        root = v;
-        ++roots;
-      } else {
-        kids[parent[v]].push_back(v);
-      }
-    }
-    if (roots == 1) {
-      order.clear();
-      NodeId cur = root;
-      while (cur != -1) {
-        order.push_back(cur);
-        cur = kids[cur].size() == 1 ? kids[cur].front() : -1;
-      }
-      if (is_hamiltonian_path(g, order)) {
-        have_ham_path = true;
-      } else {
-        order.clear();
-      }
-    }
   }
 
   // The forest codes are the structural commitment: they go through a store
@@ -185,19 +187,27 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
 
   // --- Stages B and C need a committed Hamiltonian path to run on; without
   // one the prover has already lost stage A (w.h.p.) and ships empty labels.
-  if (have_ham_path) {
+  // Whether they run is decided by the DECODED commitment, never the
+  // prover's private structure: a prover whose (possibly forged) forest
+  // codes spell out a valid Hamiltonian path must survive the nesting
+  // stages on that path. Gating on `have_ham_path` instead let a replay
+  // adversary commit a nearby yes-instance's path and skip stages B/C
+  // entirely — found by the src/adversary soundness estimator.
+  const std::vector<NodeId> committed = committed_path_order(g, decoded_parent);
+  if (!committed.empty()) {
+    const std::vector<NodeId>& path_order = committed;
     LrSortingInstance lr;
     lr.graph = &g;
-    lr.order = order;
+    lr.order = path_order;
     lr.tail.resize(g.m());
     std::vector<int> pos(n);
-    for (int i = 0; i < n; ++i) pos[order[i]] = i;
+    for (int i = 0; i < n; ++i) pos[path_order[i]] = i;
     for (EdgeId e = 0; e < g.m(); ++e) {
       const auto [u, v] = g.endpoints(e);
       lr.tail[e] = pos[u] < pos[v] ? u : v;  // truthful orientation labels
     }
     result = compose_parallel(result, lr_sorting_stage(lr, {params.c}, rng, nullptr, faults));
-    result = compose_parallel(result, nesting_stage(g, order, params.c, rng, faults));
+    result = compose_parallel(result, nesting_stage(g, path_order, params.c, rng, faults));
   }
   result.rounds = std::max(result.rounds, kPathOuterplanarityRounds);
   return result;

@@ -233,23 +233,129 @@ BoundInstance yes_tw(int n, Rng& rng) {
   return hold(std::move(h));
 }
 
+// Near-yes no-instance generators: the minimally perturbed member outside
+// each class, with the best-effort certificate a cheating prover would ship.
+// random_lr_no replays random_lr_yes's draws before flipping, so
+// near_no_lr(n, Rng(s)) is yes_lr(n, Rng(s)) with exactly one reversed arc —
+// the same-seed pairing the adversary's ReplayProver relies on. The other
+// families perturb structurally (completed K4 over a swapped order, one bad
+// block, a forged rotation, a planted subdivision, one chord).
+
+BoundInstance near_no_lr(int n, Rng& rng) {
+  struct H {
+    LrInstance gen;
+    LrSortingInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_lr_no(n, 1.0, /*flips=*/1, rng);
+  h->inst = {&h->gen.graph, h->gen.order, lr_claimed_tails(h->gen),
+             accountable_endpoints(h->gen.graph)};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_po(int n, Rng& rng) {
+  struct H {
+    PathOuterplanarInstance gen;
+    PathOuterplanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = path_outerplanar_order_swap_no(n, 1.0, rng);
+  h->inst = {&h->gen.graph, h->gen.order};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_op(int n, Rng& rng) {
+  struct H {
+    OuterplanarCertInstance gen;
+    OuterplanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = outerplanar_no_instance(n, std::max(1, n / 64), rng);
+  h->inst = {&h->gen.graph, h->gen.block_cycles};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_pe(int n, Rng& rng) {
+  struct H {
+    PlanarInstance gen;
+    PlanarEmbeddingInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = forged_rotation_no(n, 0.3, rng);
+  h->inst = {&h->gen.graph, &h->gen.rotation};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_pl(int n, Rng& rng) {
+  // Planted K5 / K3,3 subdivision in a planar host. The adjacency-order
+  // rotation ships as the doomed certificate: with certificate == nullptr the
+  // stage would run the centralized embedder on a NON-planar graph every
+  // execution, which the soundness sweeps cannot afford.
+  struct H {
+    Graph gen;
+    RotationSystem rot;
+    PlanarityInstance inst;
+
+    H(Graph g, RotationSystem r) : gen(std::move(g)), rot(std::move(r)) {}
+  };
+  PlanarInstance host = random_planar(n, 0.3, rng);
+  const Graph kernel = rng.coin() ? complete_graph(5) : complete_bipartite(3, 3);
+  Graph g = plant_subdivision(host.graph, kernel, /*subdiv=*/2, rng);
+  RotationSystem rot = RotationSystem::from_adjacency(g);
+  auto h = std::make_shared<H>(std::move(g), std::move(rot));
+  h->inst = {&h->gen, &h->rot};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_sp(int n, Rng& rng) {
+  // Keep the yes-instance's ear certificate and add only the K4 chord: the
+  // prover commits the near-honest (doomed) decomposition — the chord pads
+  // out as a dangling ear the verifier rejects — instead of re-running the
+  // centralized per-skipped-edge search on every execution, which would
+  // dominate the estimator's runtime.
+  struct H {
+    SpInstance gen;
+    SeriesParallelInstance inst;
+
+    explicit H(SpInstance g) : gen(std::move(g)) {}
+  };
+  auto h = std::make_shared<H>(random_series_parallel(n, rng));
+  LRDIP_CHECK(h->gen.k4_chord.has_value());
+  const auto [a, c] = *h->gen.k4_chord;
+  if (h->gen.graph.find_edge(a, c) == -1) h->gen.graph.add_edge(a, c);
+  h->inst = {&h->gen.graph, h->gen.ears};
+  return hold(std::move(h));
+}
+
+BoundInstance near_no_tw(int n, Rng& rng) {
+  struct H {
+    Graph gen;
+    Treewidth2Instance inst;
+
+    explicit H(Graph g) : gen(std::move(g)) {}
+  };
+  auto h = std::make_shared<H>(treewidth2_no_instance(n, std::max(1, n / 64), rng));
+  h->inst = {&h->gen, std::nullopt};
+  return hold(std::move(h));
+}
+
 // ---------------------------------------------------------------- the table
 
 constexpr std::array<ProtocolSpec, kNumTasks> kRegistry{{
     {Task::lr_sorting, "lr-sorting", "Lem 4.2", kCertOrder | kCertTails, kCertOrder | kCertTails,
-     run_lr, pls_lr, bits_lr, bind_lr, yes_lr},
+     run_lr, pls_lr, bits_lr, bind_lr, yes_lr, near_no_lr},
     {Task::path_outerplanar, "path-outerplanar", "Thm 1.2", 0, kCertOrder, run_po, pls_po,
-     bits_po, bind_po, yes_po},
+     bits_po, bind_po, yes_po, near_no_po},
     {Task::outerplanar, "outerplanar", "Thm 1.3", 0, 0, run_op, pls_op, bits_op, bind_op,
-     yes_op},
+     yes_op, near_no_op},
     {Task::embedding, "embedding", "Thm 1.4", kCertRotation, kCertRotation, run_pe, nullptr,
-     bits_pe, bind_pe, yes_pe},
+     bits_pe, bind_pe, yes_pe, near_no_pe},
     {Task::planarity, "planarity", "Thm 1.5", 0, kCertRotation, run_pl, pls_pl, bits_pl,
-     bind_pl, yes_pl},
+     bind_pl, yes_pl, near_no_pl},
     {Task::series_parallel, "series-parallel", "Thm 1.6", 0, 0, run_sp, pls_sp, bits_sp,
-     bind_sp, yes_sp},
+     bind_sp, yes_sp, near_no_sp},
     {Task::treewidth2, "treewidth2", "Thm 1.7", 0, 0, run_tw, pls_tw, bits_tw, bind_tw,
-     yes_tw},
+     yes_tw, near_no_tw},
 }};
 
 }  // namespace
@@ -302,6 +408,10 @@ BoundInstance bind_instance(Task t, const GraphFile& gf) { return protocol_spec(
 
 BoundInstance make_yes_instance(Task t, int n, Rng& rng) {
   return protocol_spec(t).make_yes(n, rng);
+}
+
+BoundInstance make_near_no_instance(Task t, int n, Rng& rng) {
+  return protocol_spec(t).make_near_no(n, rng);
 }
 
 }  // namespace lrdip

@@ -128,6 +128,15 @@ struct ProtocolSpec {
   /// every certificate). Same families and parameters as the seed-pinned
   /// E-PROOFSIZE sweep, so budgets derive from the registry alone.
   BoundInstance (*make_yes)(int n, Rng&);
+  /// Near-yes no-instance generator: the task's minimally perturbed member
+  /// outside the class (one flipped LR edge, one order swap + completed K4,
+  /// a forged rotation, a planted subdivision, ...), with the best-effort
+  /// certificate a cheating prover would ship. Where the family admits it
+  /// (lr-sorting), make_near_no(n, Rng(s)) is the perturbation of
+  /// make_yes(n, Rng(s)) under the SAME seed — the pairing ReplayProver
+  /// exploits. The honest run must reject these (soundness experiments and
+  /// test_soundness assert it at pinned seeds).
+  BoundInstance (*make_near_no)(int n, Rng&);
 };
 
 /// The full table, in Task order.
@@ -147,8 +156,9 @@ Outcome run_protocol(const Instance& inst, const RunOptions& opt, Rng& rng,
 /// Dispatches the task's PLS baseline; throws when the task has none.
 Outcome run_protocol_baseline_pls(const Instance& inst);
 
-/// bind_file / make_yes by tag.
+/// bind_file / make_yes / make_near_no by tag.
 BoundInstance bind_instance(Task t, const GraphFile& gf);
 BoundInstance make_yes_instance(Task t, int n, Rng& rng);
+BoundInstance make_near_no_instance(Task t, int n, Rng& rng);
 
 }  // namespace lrdip

@@ -1,77 +1,35 @@
-// Randomized cross-family consistency sweep ("fuzz light"): draw a random
-// family, a random instance, and a random protocol; the verdict must match
-// the family's membership. Bounded to a few seconds; the seed space is
+// Randomized cross-family consistency sweep ("fuzz light") over the protocol
+// registry: for every task — including planarity and treewidth-2, which the
+// old hand-rolled 6-way switch never exercised — draw random sizes, run the
+// honest yes-instance and the near-yes no-instance, and require the verdicts
+// to match membership. Bounded to a few seconds; the seed space is
 // parameterized so failures reproduce exactly.
 #include <gtest/gtest.h>
 
-#include "support/check.hpp"
-#include "gen/generators.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/outerplanar.hpp"
-#include "graph/planarity.hpp"
-#include "graph/series_parallel.hpp"
-#include "protocols/outerplanarity.hpp"
-#include "protocols/path_outerplanarity.hpp"
-#include "protocols/planar_embedding.hpp"
-#include "protocols/series_parallel_protocol.hpp"
+#include "protocols/registry.hpp"
 #include "support/rng.hpp"
+#include "test_instances.hpp"
 
 namespace lrdip {
 namespace {
 
 class FuzzSweep : public ::testing::TestWithParam<int> {};
 
-TEST_P(FuzzSweep, VerdictsMatchMembership) {
+TEST_P(FuzzSweep, HonestVerdictsMatchMembershipAcrossRegistry) {
   Rng rng(0xf00d + GetParam());
-  for (int iter = 0; iter < 12; ++iter) {
-    const int n = 16 + static_cast<int>(rng.uniform(150));
-    const int family = static_cast<int>(rng.uniform(6));
-    switch (family) {
-      case 0: {  // path-outerplanar yes
-        const auto gi = random_path_outerplanar(n, 0.2 + rng.uniform(15) / 10.0, rng);
-        EXPECT_TRUE(run_path_outerplanarity({&gi.graph, gi.order}, {3}, rng).accepted);
-        break;
-      }
-      case 1: {  // outerplanar glued yes
-        const int blocks = 1 + static_cast<int>(rng.uniform(3));
-        const auto gi = random_outerplanar_with_cert(std::max(n, 6 * blocks), blocks, rng);
-        EXPECT_TRUE(run_outerplanarity({&gi.graph, gi.block_cycles}, {3}, rng).accepted);
-        break;
-      }
-      case 2: {  // planar embedding yes + corrupted no
-        const auto gi = random_planar(n, 0.4, rng);
-        EXPECT_TRUE(run_planar_embedding({&gi.graph, &gi.rotation}, {3}, rng).accepted);
-        auto bad = corrupt_rotation({gi.graph, gi.rotation}, 2, rng);
-        if (!is_planar_embedding(bad.graph, bad.rotation)) {
-          EXPECT_FALSE(run_planar_embedding({&bad.graph, &bad.rotation}, {3}, rng).accepted);
-        }
-        break;
-      }
-      case 3: {  // series-parallel yes + chord no
-        const SpInstance gi = random_series_parallel(std::max(n, 16), rng);
-        EXPECT_TRUE(run_series_parallel({&gi.graph, gi.ears}, {3}, rng).accepted);
-        Graph bad = gi.graph;
-        if (gi.k4_chord && bad.find_edge(gi.k4_chord->first, gi.k4_chord->second) == -1) {
-          bad.add_edge(gi.k4_chord->first, gi.k4_chord->second);
-          EXPECT_FALSE(run_series_parallel({&bad, std::nullopt}, {3}, rng).accepted);
-        }
-        break;
-      }
-      case 4: {  // treewidth-2 glued yes
-        const int blocks = 1 + static_cast<int>(rng.uniform(3));
-        const auto gi = random_treewidth2_with_cert(std::max(n, 6 * blocks), blocks, rng);
-        EXPECT_TRUE(run_treewidth2({&gi.graph, gi.block_ears}, {3}, rng).accepted);
-        break;
-      }
-      default: {  // non-planar no, across all planarity-implied tasks
-        const auto host = random_planar(std::max(16, n / 2), 0.5, rng);
-        const Graph bad = plant_subdivision(
-            host.graph, rng.coin() ? complete_graph(5) : complete_bipartite(3, 3),
-            1 + static_cast<int>(rng.uniform(4)), rng);
-        EXPECT_FALSE(run_planarity({&bad, nullptr}, {3}, rng).accepted);
-        EXPECT_FALSE(run_outerplanarity({&bad, std::nullopt}, {3}, rng).accepted);
-        break;
-      }
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    SCOPED_TRACE(spec.name);
+    for (int iter = 0; iter < 3; ++iter) {
+      // Floor keeps every family's generator constraints satisfied (arcs to
+      // flip, four K4 positions, >= 6 nodes per glued block).
+      const int n = 48 + static_cast<int>(rng.uniform(120));
+      const BoundInstance yes = fixtures::yes_instance(spec.task, n, rng.next_u64());
+      EXPECT_TRUE(fixtures::run_task(yes, rng.next_u64()).accepted)
+          << "yes-instance rejected at n=" << n << " iter=" << iter;
+
+      const BoundInstance no = fixtures::near_no_instance(spec.task, n, rng.next_u64());
+      EXPECT_FALSE(fixtures::run_task(no, rng.next_u64()).accepted)
+          << "near-no instance accepted at n=" << n << " iter=" << iter;
     }
   }
 }

@@ -19,17 +19,12 @@
 #include "protocols/planar_embedding.hpp"
 #include "protocols/series_parallel_protocol.hpp"
 #include "support/rng.hpp"
+#include "test_instances.hpp"
 
 namespace lrdip {
 namespace {
 
-LrSortingInstance make_lr(const LrInstance& gi) {
-  LrSortingInstance inst;
-  inst.graph = &gi.graph;
-  inst.order = gi.order;
-  inst.tail = lr_claimed_tails(gi);
-  return inst;
-}
+using fixtures::make_lr;
 
 // ------------------------------------------------ completeness sweeps
 
@@ -68,7 +63,7 @@ class EmbeddingCompleteness : public ::testing::TestWithParam<std::tuple<int, in
 TEST_P(EmbeddingCompleteness, AlwaysAccepts) {
   const auto [n, seed] = GetParam();
   Rng rng(seed * 17 + 3);
-  const auto gi = random_planar(n, 0.4, rng);
+  const auto gi = fixtures::planar_host(n, rng);
   EXPECT_TRUE(run_planar_embedding({&gi.graph, &gi.rotation}, {3}, rng).accepted);
 }
 
@@ -239,7 +234,7 @@ class ExpansionInvariants : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExpansionInvariants, StructureOfH) {
   Rng rng(GetParam() * 3 + 2);
-  const auto gi = random_planar(60 + 10 * GetParam(), 0.4, rng);
+  const auto gi = fixtures::planar_host(60 + 10 * GetParam(), rng);
   const RootedForest tree = bfs_tree(gi.graph, 0);
   const EulerExpansion exp =
       build_euler_expansion(gi.graph, gi.rotation, tree.parent, tree.parent_edge, 0);

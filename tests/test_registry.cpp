@@ -45,14 +45,18 @@ TEST(Registry, NameListJoinsEveryTask) {
   }
 }
 
-// Every committed budget file names a registry task and every task has a
-// budget file: bench/budgets/<name>.json <-> registry row.
+// Every committed per-task budget file names a registry task and every task
+// has one: bench/budgets/<name>.json <-> registry row. soundness.json is the
+// one cross-task file (E-SOUNDNESS acceptance budgets, all tasks in one
+// sweep) and is excluded from the bijection.
 TEST(Registry, BudgetFilesMatchRegistry) {
   const std::filesystem::path dir(LRDIP_BUDGETS_DIR);
   ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
   std::set<std::string> stems;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() == ".json") stems.insert(entry.path().stem().string());
+    if (entry.path().extension() != ".json") continue;
+    if (entry.path().stem() == "soundness") continue;
+    stems.insert(entry.path().stem().string());
   }
   std::set<std::string> names;
   for (const ProtocolSpec& spec : protocol_registry()) names.insert(spec.name);
@@ -66,6 +70,17 @@ TEST(Registry, InstanceViewTagsMatchTask) {
     EXPECT_EQ(bi.task(), spec.task);
     EXPECT_EQ(bi.view().task(), spec.task);
     EXPECT_GE(bi.graph().n(), 2);
+  }
+}
+
+TEST(Registry, MakeNearNoInstancesReject) {
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    Rng gen_rng(23);
+    Rng run_rng(29);
+    const BoundInstance bi = spec.make_near_no(96, gen_rng);
+    EXPECT_EQ(bi.task(), spec.task);
+    const Outcome o = spec.run(bi.view(), {3}, run_rng, nullptr);
+    EXPECT_FALSE(o.accepted) << spec.name << " accepted its near-no instance";
   }
 }
 

@@ -17,6 +17,7 @@
 #include "graph/planarity.hpp"
 #include "protocols/spanning_tree_labeled.hpp"
 #include "support/rng.hpp"
+#include "test_instances.hpp"
 
 namespace lrdip {
 namespace {
@@ -25,7 +26,7 @@ namespace {
 
 TEST(FailureInjection, TamperedXValueIsDetected) {
   Rng rng(1);
-  const auto gi = random_planar(40, 0.4, rng);
+  const auto gi = fixtures::planar_host(40, rng);
   const Graph& g = gi.graph;
   const RootedForest tree = bfs_tree(g, 0);
   std::vector<std::vector<NodeId>> children = children_of(tree);
@@ -69,7 +70,7 @@ TEST(FailureInjection, TamperedXValueIsDetected) {
 
 TEST(FailureInjection, TamperedNonceEchoIsDetected) {
   Rng rng(2);
-  const auto gi = random_planar(30, 0.4, rng);
+  const auto gi = fixtures::planar_host(30, rng);
   const Graph& g = gi.graph;
   const RootedForest tree = bfs_tree(g, 0);
   const auto children = children_of(tree);

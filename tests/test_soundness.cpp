@@ -1,0 +1,126 @@
+// Statistical certification of the paper's two quantitative promises.
+//
+// * Perfect completeness: every registry task accepts its make_yes instance
+//   under 64 independent verifier coin seeds — zero rejections tolerated
+//   (Theorems 1.2-1.7 claim probability 1, not high probability).
+// * Soundness, honest side: every make_near_no instance is rejected by the
+//   honest run at pinned seeds.
+// * Soundness, adversarial side: the greedy local-search prover — the
+//   strongest scripted attack in src/adversary — convinces the verifier on
+//   at most a small fraction of coin draws.
+// * Determinism: the estimator's acceptance counts are bit-identical at 1, 2,
+//   and 8 threads (the run_batch contract extended through the adversary).
+// * The Clopper-Pearson bound matches closed-form / tabulated values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "adversary/estimate.hpp"
+#include "dip/parallel.hpp"
+#include "protocols/registry.hpp"
+
+namespace lrdip {
+namespace {
+
+using adversary::AcceptanceEstimate;
+using adversary::SoundnessEstimator;
+using adversary::SoundnessPoint;
+using adversary::Strategy;
+using adversary::clopper_pearson_upper;
+
+constexpr int kN = 96;
+constexpr std::uint64_t kSeed = 0x5eed5015ULL;
+
+SoundnessEstimator::Options small_options(int trials) {
+  SoundnessEstimator::Options opt;
+  opt.trials = trials;
+  opt.seed = kSeed;
+  opt.greedy.iterations = 24;
+  return opt;
+}
+
+TEST(Completeness, EveryTaskAcceptsUnder64CoinSeeds) {
+  const Runtime rt;
+  const SoundnessEstimator est(rt, small_options(64));
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    SCOPED_TRACE(spec.name);
+    const AcceptanceEstimate e = est.completeness(spec.task, kN);
+    EXPECT_EQ(e.trials, 64);
+    EXPECT_EQ(e.accepted, 64) << "perfect completeness violated";
+  }
+}
+
+TEST(Soundness, NearNoInstancesRejectedByHonestRuns) {
+  const Runtime rt;
+  const SoundnessEstimator est(rt, small_options(32));
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    SCOPED_TRACE(spec.name);
+    // The honest side rides along on the cheapest strategy's point.
+    const SoundnessPoint p = est.estimate(spec.task, kN, Strategy::seeded_random);
+    EXPECT_EQ(p.honest.accepted, 0) << "honest run accepted a near-no instance";
+  }
+}
+
+TEST(Soundness, GreedyProverAcceptanceStaysSmall) {
+  const Runtime rt;
+  const SoundnessEstimator est(rt, small_options(16));
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    SCOPED_TRACE(spec.name);
+    const SoundnessPoint p = est.estimate(spec.task, kN, Strategy::greedy);
+    // Pinned seeds: the expected count is 0; 2/16 leaves room for a task
+    // whose paper bound eps = 1/polylog n is weakest at this small size.
+    EXPECT_LE(p.acceptance.accepted, 2) << "greedy prover beat the soundness budget";
+  }
+}
+
+TEST(Soundness, EstimatorIsBitIdenticalAcrossThreadCounts) {
+  // Replay exercises Runtime::run (within-instance axis), seeded-random the
+  // run_batch axis, greedy the search loop; all three must not see threads.
+  const std::vector<Strategy> strategies = {Strategy::replay, Strategy::seeded_random,
+                                            Strategy::greedy};
+  std::vector<std::vector<int>> counts;  // [thread cfg][strategy x task sample]
+  for (const int threads : {1, 2, 8}) {
+    set_parallel_threads(threads);
+    const Runtime rt;
+    const SoundnessEstimator est(rt, small_options(8));
+    std::vector<int> c;
+    for (const Task task : {Task::lr_sorting, Task::embedding, Task::series_parallel}) {
+      for (const Strategy s : strategies) {
+        const SoundnessPoint p = est.estimate(task, kN, s);
+        c.push_back(p.acceptance.accepted);
+        c.push_back(p.honest.accepted);
+      }
+    }
+    counts.push_back(std::move(c));
+  }
+  set_parallel_threads(0);
+  EXPECT_EQ(counts[0], counts[1]) << "1-thread vs 2-thread acceptance counts differ";
+  EXPECT_EQ(counts[0], counts[2]) << "1-thread vs 8-thread acceptance counts differ";
+}
+
+TEST(ClopperPearson, MatchesClosedFormAndTables) {
+  // k = 0: upper solves (1-p)^K = alpha, i.e. p = 1 - alpha^(1/K).
+  EXPECT_NEAR(clopper_pearson_upper(0, 64, 0.05), 1.0 - std::pow(0.05, 1.0 / 64), 1e-9);
+  EXPECT_NEAR(clopper_pearson_upper(0, 16, 0.05), 1.0 - std::pow(0.05, 1.0 / 16), 1e-9);
+  // One-sided 95% bound for 5 successes in 10 trials: the p solving
+  // P[Bin(10, p) <= 5] = 0.05 (cross-checked against an exact-arithmetic
+  // binomial CDF evaluation).
+  EXPECT_NEAR(clopper_pearson_upper(5, 10, 0.05), 0.777559, 5e-6);
+  // Degenerate cases.
+  EXPECT_EQ(clopper_pearson_upper(10, 10, 0.05), 1.0);
+  EXPECT_EQ(clopper_pearson_upper(0, 0, 0.05), 1.0);
+  // Monotone in successes.
+  EXPECT_LT(clopper_pearson_upper(1, 64, 0.05), clopper_pearson_upper(2, 64, 0.05));
+}
+
+TEST(ClopperPearson, UpperBoundCoversTheRate) {
+  for (int k : {0, 1, 3, 17, 63}) {
+    const double up = clopper_pearson_upper(k, 64, 0.05);
+    EXPECT_GE(up, static_cast<double>(k) / 64);
+    EXPECT_LE(up, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lrdip

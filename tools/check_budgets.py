@@ -1,24 +1,36 @@
 #!/usr/bin/env python3
-"""CI gate on communication budgets.
+"""CI gate on communication and soundness budgets.
 
-Compares a bench_proof_size results JSON (--json output) against the
-committed per-task budget files in bench/budgets/. A task regresses when a
-measured proof size at some log_n exceeds the budgeted value by more than the
-budget's tolerance (relative; --tolerance overrides every file). Points the
-budget does not cover (e.g. CI sweeps a smaller n range than the committed
-budgets, or vice versa) are skipped — only matching (task, log_n) pairs gate.
+Dispatches on the results file's "experiment" field:
+
+* E-PROOFSIZE (bench_proof_size --json): compares against the committed
+  per-task budget files in bench/budgets/. A task regresses when a measured
+  proof size at some log_n exceeds the budgeted value by more than the
+  budget's tolerance (relative; --tolerance overrides every file). Points the
+  budget does not cover (e.g. CI sweeps a smaller n range than the committed
+  budgets, or vice versa) are skipped — only matching (task, log_n) pairs
+  gate.
+
+* E-SOUNDNESS (bench_soundness --json): compares against the single
+  cross-task file bench/budgets/soundness.json. A cell regresses when a
+  cheating prover's acceptance COUNT at some (task, strategy, log_n) exceeds
+  the budgeted max_accepted, or when an honest run accepted a near-no
+  instance. Cells whose trial count differs from the budget's are skipped (a
+  different LRDIP_BENCH_TRIALS is a different experiment, not a regression).
 
 Exit status: 0 all within budget, 1 regression(s), 2 usage/schema error.
 
 Usage:
     tools/check_budgets.py results.json bench/budgets [--tolerance 0.02]
 
-The sweep is seed-pinned and the library ships its own deterministic Rng, so
-the committed budgets are exact: the default tolerance in the files is 0.0
-and any drift means the prover's labels actually changed. To refresh after an
-intentional protocol change:
+The sweeps are seed-pinned and the library ships its own deterministic Rng,
+so the committed budgets are exact: the default tolerance in the proof-size
+files is 0.0, soundness budgets are integer counts, and any drift means the
+prover's labels (or the adversary's luck) actually changed. To refresh after
+an intentional change:
 
     build/bench/bench_proof_size --write-budgets bench/budgets
+    build/bench/bench_soundness  --write-budgets bench/budgets
 """
 import argparse
 import json
@@ -35,15 +47,60 @@ def load_json(path):
         sys.exit(2)
 
 
+def check_soundness(results, budgets_dir):
+    """Gate bench_soundness acceptance counts against budgets/soundness.json."""
+    budget_path = budgets_dir / "soundness.json"
+    if not budget_path.exists():
+        print(f"error: no soundness budget {budget_path} "
+              f"(run bench_soundness --write-budgets to create it)", file=sys.stderr)
+        sys.exit(2)
+    budget = load_json(budget_path)
+    budget_cells = {(p["task"], p["strategy"], int(p["log_n"]), int(p["trials"])):
+                    int(p["max_accepted"]) for p in budget.get("points", [])}
+    failures = []
+    checked = 0
+    for p in results.get("points", []):
+        key = (p["task"], p["strategy"], int(p["log_n"]), int(p["trials"]))
+        if key not in budget_cells:
+            continue
+        checked += 1
+        accepted = int(p["accepted"])
+        allowed = budget_cells[key]
+        mark = "ok"
+        if accepted > allowed:
+            mark = "REGRESSION"
+            failures.append(f"{key[0]}/{key[1]} @ n=2^{key[2]}: accepted {accepted}/{key[3]} "
+                            f"> budget {allowed}")
+        if int(p.get("honest_accepted", 0)) != 0:
+            mark = "REGRESSION"
+            failures.append(f"{key[0]} @ n=2^{key[2]}: honest run ACCEPTED a near-no instance")
+        print(f"  {key[0]:>18} {key[1]:>13} n=2^{key[2]:<2} "
+              f"accepted={accepted:>2}/{key[3]} budget={allowed:>2}  {mark}")
+
+    if checked == 0:
+        print("error: no (task, strategy, log_n, trials) cell matched the soundness budget",
+              file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"\n{len(failures)} soundness budget violation(s):")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nall {checked} checked soundness cells within budget")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("results", help="bench_proof_size --json output")
-    ap.add_argument("budgets_dir", help="directory of per-task budget files")
+    ap.add_argument("results", help="bench_proof_size or bench_soundness --json output")
+    ap.add_argument("budgets_dir", help="directory of budget files")
     ap.add_argument("--tolerance", type=float, default=None,
-                    help="relative tolerance overriding every budget file")
+                    help="relative tolerance overriding every budget file (E-PROOFSIZE only)")
     args = ap.parse_args()
 
     results = load_json(args.results)
+    if results.get("experiment") == "E-SOUNDNESS":
+        check_soundness(results, pathlib.Path(args.budgets_dir))
+        return
     tasks = results.get("tasks")
     if not isinstance(tasks, dict) or not tasks:
         print(f"error: {args.results} has no tasks", file=sys.stderr)
