@@ -10,15 +10,49 @@
 #include "bench_util.hpp"
 #include "dip/parallel.hpp"
 #include "dip/runtime.hpp"
+#include "field/fp_simd.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/path_outerplanarity.hpp"
 #include "protocols/planar_embedding.hpp"
 #include "protocols/registry.hpp"
+#include "support/cpu.hpp"
 
 namespace {
 
 using namespace lrdip;
 using namespace lrdip::bench;
+
+// Experiment E-SIMD: the batched Barrett phi-product kernel, scalar vs AVX2
+// vs AVX-512, over span lengths 2^10..2^20. The protocol benchmarks above
+// measure end-to-end effect; this isolates the kernel so the dispatch levels
+// can be compared on identical inputs. Levels the host cannot run are
+// skipped. The forced level is restored after each run, so the remaining
+// benchmarks stay on the host default.
+void BM_PhiBatch(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  if (level > simd_host_level()) {
+    state.SkipWithError("dispatch level unsupported on this host");
+    return;
+  }
+  const Fp f(1000003);  // representative polylog-sized modulus
+  Rng rng(0x5eed);
+  std::vector<std::uint64_t> span(size);
+  for (std::uint64_t& v : span) v = rng.next_u64();
+  const std::uint64_t x = f.sample(rng);
+  set_simd_level(level);
+  state.SetLabel(simd_level_name(level));
+  state.counters["lanes"] = static_cast<double>(fp_simd::active_lanes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp_simd::phi_product(f, span, x));
+  }
+  set_simd_level(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_PhiBatch)
+    ->ArgsProduct({{static_cast<long>(SimdLevel::scalar), static_cast<long>(SimdLevel::avx2),
+                    static_cast<long>(SimdLevel::avx512)},
+                   {1L << 10, 1L << 14, 1L << 17, 1L << 20}});
 
 void BM_LrSorting(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -164,6 +198,10 @@ int main(int argc, char** argv) {
   }
   int effective_argc = static_cast<int>(args.size());
   benchmark::Initialize(&effective_argc, args.data());
+  benchmark::AddCustomContext("simd_host_level",
+                              lrdip::simd_level_name(lrdip::simd_host_level()));
+  benchmark::AddCustomContext("simd_active_level", lrdip::fp_simd::active_level_name());
+  benchmark::AddCustomContext("simd_active_lanes", std::to_string(lrdip::fp_simd::active_lanes()));
   if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

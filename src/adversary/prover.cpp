@@ -28,26 +28,31 @@ std::optional<Strategy> strategy_from_name(std::string_view name) {
 
 namespace {
 
-std::uint64_t fold_label(std::uint64_t d, const Label& l) {
-  d = fnv1a_word(d, l.num_fields());
+void flatten_label(std::vector<std::uint64_t>& flat, const Label& l) {
+  flat.push_back(l.num_fields());
   for (std::size_t f = 0; f < l.num_fields(); ++f) {
-    d = fnv1a_word(d, static_cast<std::uint64_t>(l.field_bits(f)));
-    d = fnv1a_word(d, l.get(f));
+    flat.push_back(static_cast<std::uint64_t>(l.field_bits(f)));
+    flat.push_back(l.get(f));
   }
-  return d;
 }
 
 }  // namespace
 
 std::uint64_t CapturedTranscript::digest() const {
+  // Gather each snapshot into one contiguous word buffer, then fold it with
+  // the span feed — the word sequence (and hence the digest) is exactly what
+  // the old per-field fnv1a_word chain produced.
   std::uint64_t d = kFnvOffsetBasis;
   d = fnv1a_word(d, calls.size());
+  std::vector<std::uint64_t> flat;
   for (const LabelSnapshot& s : calls) {
-    d = fnv1a_word(d, static_cast<std::uint64_t>(s.rounds));
-    d = fnv1a_word(d, static_cast<std::uint64_t>(s.n));
-    d = fnv1a_word(d, static_cast<std::uint64_t>(s.m));
-    for (const Label& l : s.node_labels) d = fold_label(d, l);
-    for (const Label& l : s.edge_labels) d = fold_label(d, l);
+    flat.clear();
+    flat.push_back(static_cast<std::uint64_t>(s.rounds));
+    flat.push_back(static_cast<std::uint64_t>(s.n));
+    flat.push_back(static_cast<std::uint64_t>(s.m));
+    for (const Label& l : s.node_labels) flatten_label(flat, l);
+    for (const Label& l : s.edge_labels) flatten_label(flat, l);
+    d = fnv1a_span(d, flat);
   }
   return d;
 }

@@ -25,13 +25,17 @@ int default_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// Each participant claims chunks of `grain` indices from a shared counter.
-// Which thread runs which chunk varies run to run; the determinism contract
-// (disjoint writes) makes that unobservable.
+// Each participant claims chunk indices from a shared counter; chunk k is
+// [k * grain, ...) for uniform jobs, [bounds[k], bounds[k + 1]) for weighted
+// ones. Which thread runs which chunk varies run to run; the determinism
+// contract (disjoint writes) makes that unobservable, and the chunk map
+// itself never depends on the thread count.
 struct Job {
   const detail::RangeBody* body = nullptr;
   std::int64_t n = 0;
   std::int64_t grain = 1;
+  std::int64_t chunks = 0;
+  const std::int64_t* bounds = nullptr;  // chunks + 1 entries when weighted
   std::atomic<std::int64_t> next{0};
   std::atomic<int> tokens{0};  // workers allowed to steal chunks (thread cap)
   std::atomic<int> active{0};  // workers that still owe a response
@@ -50,14 +54,15 @@ struct Job {
     const bool timed = busy_ns != nullptr;
     const std::int64_t t0 = timed ? obs::now_ns() : 0;
     while (true) {
-      const std::int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= n) break;
-      const std::int64_t end = begin + grain < n ? begin + grain : n;
+      const std::int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) break;
+      const std::int64_t begin = bounds != nullptr ? bounds[chunk] : chunk * grain;
+      const std::int64_t end =
+          bounds != nullptr ? bounds[chunk + 1] : (begin + grain < n ? begin + grain : n);
       try {
         (*body)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lk(error_mu);
-        const std::int64_t chunk = begin / grain;
         if (error_chunk == -1 || chunk < error_chunk) {
           error_chunk = chunk;
           error = std::current_exception();
@@ -167,37 +172,13 @@ void set_parallel_threads(int threads) {
   g_forced_threads.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
 }
 
-namespace detail {
+namespace {
 
-void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& body) {
-  if (n <= 0) return;
-  if (grain < 1) grain = 1;
-  const int threads = parallel_threads();
-  // Nested regions run inline on their worker; their time is already inside
-  // the outer region's busy slots, so they are never metered separately.
-  if (tl_in_parallel_region) {
-    body(0, n);
-    return;
-  }
-  // Inline when the loop is too small to split or a single thread is
-  // requested; metering sees a one-thread region (busy == wall).
-  if (threads <= 1 || n <= grain) {
-    if (!obs::metrics_enabled()) {
-      body(0, n);
-      return;
-    }
-    const std::int64_t t0 = obs::now_ns();
-    body(0, n);
-    const std::int64_t busy[1] = {obs::now_ns() - t0};
-    obs::MetricsRegistry::instance().record_parallel(busy[0], busy, n);
-    return;
-  }
-  Job job;
+/// Shared tail of the two entry points: job.n/grain/chunks/bounds are set,
+/// chunks >= 2, and the caller wants real parallelism.
+void dispatch_job(Job& job, int threads, const detail::RangeBody& body) {
   job.body = &body;
-  job.n = n;
-  job.grain = grain;
-  const std::int64_t chunks = (n + grain - 1) / grain;
-  const int helpers = static_cast<int>(std::min<std::int64_t>(threads - 1, chunks - 1));
+  const int helpers = static_cast<int>(std::min<std::int64_t>(threads - 1, job.chunks - 1));
   const bool timed = obs::metrics_enabled();
   std::vector<std::int64_t> busy;
   if (timed) {
@@ -214,9 +195,64 @@ void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& bo
     }
   }
   if (timed) {
-    obs::MetricsRegistry::instance().record_parallel(obs::now_ns() - t0, busy, n);
+    obs::MetricsRegistry::instance().record_parallel(obs::now_ns() - t0, busy, job.n);
   }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+/// Inline fallbacks shared by both entry points. Returns true when the loop
+/// already ran (nested region, single thread, or a single chunk).
+bool ran_inline(std::int64_t n, std::int64_t chunks, int threads, const detail::RangeBody& body) {
+  // Nested regions run inline on their worker; their time is already inside
+  // the outer region's busy slots, so they are never metered separately.
+  if (tl_in_parallel_region) {
+    body(0, n);
+    return true;
+  }
+  // Inline when the loop is too small to split or a single thread is
+  // requested; metering sees a one-thread region (busy == wall).
+  if (threads <= 1 || chunks <= 1) {
+    if (!obs::metrics_enabled()) {
+      body(0, n);
+      return true;
+    }
+    const std::int64_t t0 = obs::now_ns();
+    body(0, n);
+    const std::int64_t busy[1] = {obs::now_ns() - t0};
+    obs::MetricsRegistry::instance().record_parallel(busy[0], busy, n);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+void parallel_for_ranges(std::int64_t n, std::int64_t grain, const RangeBody& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = parallel_threads();
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  if (ran_inline(n, chunks, threads, body)) return;
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.chunks = chunks;
+  dispatch_job(job, threads, body);
+}
+
+void parallel_for_chunks(std::int64_t n, std::span<const std::int64_t> bounds,
+                         const RangeBody& body) {
+  if (n <= 0) return;
+  const std::int64_t chunks = static_cast<std::int64_t>(bounds.size()) - 1;
+  const int threads = parallel_threads();
+  if (ran_inline(n, chunks, threads, body)) return;
+  Job job;
+  job.n = n;
+  job.chunks = chunks;
+  job.bounds = bounds.data();
+  dispatch_job(job, threads, body);
 }
 
 }  // namespace detail

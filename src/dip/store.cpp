@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "field/fp_simd.hpp"
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
 
@@ -152,7 +153,14 @@ std::span<const std::uint64_t> CoinStore::draw(int round, NodeId v, int count,
                                                std::uint64_t bound, int bits_each,
                                                Rng& rng) {
   Slot& s = open_slot(round, v);
-  for (int i = 0; i < count; ++i) data_.push_back(rng.uniform(bound));
+  // Batched expansion, stream- and value-identical to count sequential
+  // rng.uniform(bound) calls: rejection still runs per word on the raw
+  // stream, only the final mod folds through the vector kernel.
+  const std::size_t tail = data_.size();
+  data_.resize(tail + static_cast<std::size_t>(count));
+  const std::span<std::uint64_t> fresh(data_.data() + tail, static_cast<std::size_t>(count));
+  rng.fill_uniform_raw(fresh, bound);
+  fp_simd::mod_span(bound, fresh);
   s.len += static_cast<std::uint32_t>(count);
   LRDIP_CHECK(data_.size() <= std::numeric_limits<std::uint32_t>::max());
   coin_bits_[v] += count * bits_each;

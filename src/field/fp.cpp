@@ -1,17 +1,27 @@
 #include "field/fp.hpp"
 
+#include "field/fp_simd.hpp"
 #include "field/primes.hpp"
 
 namespace lrdip {
 
 Fp::Fp(std::uint64_t p) : p_(p) {
-  LRDIP_CHECK_MSG(p >= 2 && p < (std::uint64_t{1} << 62), "modulus out of range");
+  LRDIP_CHECK_MSG(p >= 2, "modulus out of range");
+  // Every protocol field is polylog(n)-sized; a modulus at or above 2^32
+  // would silently push reduce/mul onto a ~10x slower divide path (and is
+  // outside what the SIMD kernels handle), so reject it loudly here.
+  LRDIP_CHECK_MSG(p < (std::uint64_t{1} << 32),
+                  "Fp modulus must be < 2^32 (protocol fields are polylog-sized; "
+                  "the divide-free Barrett and SIMD paths require it)");
   LRDIP_CHECK_MSG(is_prime(p), "Fp modulus must be prime");
-  if (p < (std::uint64_t{1} << 32)) {
-    // floor(2^64 / p), computed without overflowing: 2^64 = q*p + r0.
-    const std::uint64_t r0 = (~std::uint64_t{0} % p + 1) % p;
-    barrett_m_ = r0 == 0 ? ~std::uint64_t{0} / p + 1 : (~std::uint64_t{0} - (r0 - 1)) / p;
-  }
+  // floor(2^64 / p), computed without overflowing: 2^64 = q*p + r0.
+  const std::uint64_t r0 = (~std::uint64_t{0} % p + 1) % p;
+  barrett_m_ = r0 == 0 ? ~std::uint64_t{0} / p + 1 : (~std::uint64_t{0} - (r0 - 1)) / p;
+}
+
+void Fp::sample_span(Rng& rng, std::span<std::uint64_t> out) const {
+  rng.fill_uniform_raw(out, p_);
+  fp_simd::mod_span(p_, out);
 }
 
 }  // namespace lrdip

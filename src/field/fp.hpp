@@ -4,12 +4,15 @@
 // with 128-bit intermediate products is ample. Fp is a value type describing
 // the field; Fe ("field element") operations are free functions on it.
 //
-// Reduction avoids the hardware divide on the hot path: for any modulus below
-// 2^32 (every protocol field — p is polylog(n)) the constructor precomputes
-// the Barrett constant m = floor(2^64 / p), and reduce() rewrites x mod p as
-// x - floor(x * m / 2^64) * p with at most two conditional subtractions. The
-// divide-based path is kept for larger moduli and as the reference
-// implementation the tests cross-check against exhaustively.
+// Reduction avoids the hardware divide on the hot path: the constructor
+// precomputes the Barrett constant m = floor(2^64 / p), and reduce() rewrites
+// x mod p as x - floor(x * m / 2^64) * p with at most two conditional
+// subtractions. Moduli at or above 2^32 are rejected at construction — no
+// protocol field is remotely that large (p is polylog(n)), and the old
+// silent divide-based fallback cost ~10x on the hot path, so an oversized
+// modulus is a caller bug that should be loud, not slow. The SIMD span
+// kernels (field/fp_simd.hpp) lean on the same bound: reduced operands
+// multiply exactly inside 64 bits.
 #pragma once
 
 #include <cstdint>
@@ -31,21 +34,28 @@ class Fp {
   /// Bits to transmit one field element.
   int element_bits() const { return bits_for_values(p_); }
 
-  /// True when reduce/mul run divide-free (p < 2^32).
+  /// True when reduce/mul run divide-free. Always true since construction
+  /// rejects p >= 2^32; kept so the --metrics payload can attest to it.
   bool barrett_enabled() const { return barrett_m_ != 0; }
+
+  /// Class-level form of the same attestation, for call sites (finalize's
+  /// metrics stamp) that hold no field instance: every constructible Fp runs
+  /// Barrett, because construction rejects the moduli that could not.
+  static constexpr bool barrett_always_enabled() { return true; }
+
+  /// The precomputed floor(2^64 / p). The span kernels in field/fp_simd.hpp
+  /// replay the same Barrett sequence lane-parallel.
+  std::uint64_t barrett_m() const { return barrett_m_; }
 
   /// x mod p for any 64-bit x.
   std::uint64_t reduce(std::uint64_t x) const {
-    if (barrett_m_ != 0) {
-      // q underestimates floor(x / p) by at most 2 (see the header comment),
-      // so the correction loop runs at most twice.
-      const std::uint64_t q = static_cast<std::uint64_t>(
-          (static_cast<unsigned __int128>(x) * barrett_m_) >> 64);
-      std::uint64_t r = x - q * p_;
-      while (r >= p_) r -= p_;
-      return r;
-    }
-    return x % p_;
+    // q underestimates floor(x / p) by at most 2 (see the header comment),
+    // so the correction loop runs at most twice.
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * barrett_m_) >> 64);
+    std::uint64_t r = x - q * p_;
+    while (r >= p_) r -= p_;
+    return r;
   }
 
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
@@ -58,9 +68,9 @@ class Fp {
   }
 
   std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
-    // Divide-free whenever the product fits 64 bits; reduced operands of a
-    // Barrett-enabled field always do.
-    if (barrett_m_ != 0 && ((a | b) >> 32) == 0) return reduce(a * b);
+    // Divide-free whenever the product fits 64 bits; reduced operands always
+    // do (p < 2^32 by construction).
+    if (((a | b) >> 32) == 0) return reduce(a * b);
     return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % p_);
   }
 
@@ -83,8 +93,15 @@ class Fp {
   /// Uniform element of the field.
   std::uint64_t sample(Rng& rng) const { return rng.uniform(p_); }
 
+  /// Fills `out` with uniform field elements, value-identical to calling
+  /// sample() out.size() times (same rng stream: rejection happens on the raw
+  /// words, the final mod-p folds through the batched Barrett kernel).
+  void sample_span(Rng& rng, std::span<std::uint64_t> out) const;
+
   /// Evaluate the multiset polynomial phi_S(x) = prod_{s in S} (s - x) at x.
-  /// Elements are reduced mod p before use.
+  /// Elements are reduced mod p before use. This scalar loop is the reference
+  /// implementation; hot paths call fp_simd::phi_product, which is
+  /// value-identical (see field/fp_simd.hpp).
   std::uint64_t multiset_poly(std::span<const std::uint64_t> multiset, std::uint64_t x) const {
     std::uint64_t acc = 1 % p_;
     const std::uint64_t xr = reduce(x);
@@ -94,7 +111,7 @@ class Fp {
 
  private:
   std::uint64_t p_;
-  std::uint64_t barrett_m_ = 0;  // floor(2^64 / p) when p < 2^32, else 0
+  std::uint64_t barrett_m_ = 0;  // floor(2^64 / p); always set (p < 2^32)
 };
 
 }  // namespace lrdip

@@ -1,0 +1,658 @@
+#include "field/fp_simd.hpp"
+
+#include "support/check.hpp"
+#include "support/cpu.hpp"
+
+// The vector paths compile on any x86-64 gcc/clang regardless of -m flags:
+// every intrinsic lives in a function carrying a `target` attribute, and
+// dispatch (support/cpu.hpp) only calls a path the host supports.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LRDIP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define LRDIP_SIMD_X86 0
+#endif
+
+namespace lrdip::fp_simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference path. Mirrors Fp::reduce exactly (same Barrett sequence)
+// but parameterized on a raw (bound, m) pair so mod_span can reduce by
+// non-prime coin bounds with the same code.
+// ---------------------------------------------------------------------------
+
+/// floor(2^64 / b) for 2 <= b < 2^32 — the Fp constructor's formula.
+std::uint64_t barrett_m_for(std::uint64_t b) {
+  const std::uint64_t r0 = (~std::uint64_t{0} % b + 1) % b;
+  return r0 == 0 ? ~std::uint64_t{0} / b + 1 : (~std::uint64_t{0} - (r0 - 1)) / b;
+}
+
+inline std::uint64_t scalar_reduce(std::uint64_t x, std::uint64_t b, std::uint64_t m) {
+  const std::uint64_t q =
+      static_cast<std::uint64_t>((static_cast<unsigned __int128>(x) * m) >> 64);
+  std::uint64_t r = x - q * b;
+  while (r >= b) r -= b;
+  return r;
+}
+
+void scalar_reduce_span(std::span<std::uint64_t> x, std::uint64_t b, std::uint64_t m) {
+  for (std::uint64_t& v : x) v = scalar_reduce(v, b, m);
+}
+
+void scalar_mul_span(const Fp& f, std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b, std::span<std::uint64_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = f.mul(a[i], b[i]);
+}
+
+std::uint64_t scalar_phi_product(const Fp& f, std::span<const std::uint64_t> s,
+                                 std::uint64_t xr) {
+  std::uint64_t acc = 1 % f.modulus();
+  for (std::uint64_t e : s) acc = f.mul(acc, f.sub(f.reduce(e), xr));
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery (REDC) support for the phi-product accumulator chains. With
+// R = 2^32 and odd p < 2^31, REDC(T) = (T + (T * p' mod R) * p) / R computes
+// T * R^{-1} mod p in three 32x32 multiplies — less than half the cost of the
+// Barrett mulmod — and T + (..)*p provably fits 64 bits, so the division is a
+// plain shift. Each chain step therefore picks up one stray R^{-1} factor;
+// the caller cancels all of them at once with a single scalar multiplication
+// by R^K mod p (K = vector-processed element count), so the returned value is
+// bit-identical to the Barrett/scalar paths. Moduli that fail the gate (even,
+// or >= 2^31) take the pure-Barrett kernels instead.
+// ---------------------------------------------------------------------------
+
+constexpr bool mont_ok(std::uint64_t p) {
+  return (p & 1) != 0 && p < (std::uint64_t{1} << 31);
+}
+
+/// -p^{-1} mod 2^32 for odd p, by Newton iteration (5 steps: 3 correct bits
+/// seed, doubling per step).
+std::uint32_t mont_ninv32(std::uint64_t p) {
+  const auto p32 = static_cast<std::uint32_t>(p);
+  std::uint32_t x = p32;
+  for (int it = 0; it < 5; ++it) x *= 2 - p32 * x;
+  return static_cast<std::uint32_t>(0) - x;
+}
+
+/// R^K mod p — the scalar fix-up factor cancelling K chain REDCs.
+std::uint64_t mont_fixup(const Fp& f, std::uint64_t k) {
+  return f.pow(f.reduce(std::uint64_t{1} << 32), k);
+}
+
+void scalar_phi_prefix_rows(const Fp& f, std::span<const std::uint64_t> blk_pos, int B,
+                            std::span<const std::uint64_t> factors,
+                            std::span<std::uint64_t> rows) {
+  for (std::size_t b = 0; b < blk_pos.size(); ++b) {
+    std::uint64_t* row = rows.data() + b * (static_cast<std::size_t>(B) + 1);
+    const std::uint64_t x1 = blk_pos[b];
+    std::uint64_t acc = 1;
+    for (int t = 1; t <= B; ++t) {
+      row[t] = acc;  // product over indices strictly below t
+      if ((x1 >> (B - t)) & 1) acc = f.mul(acc, factors[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+#if LRDIP_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 lanes. No 64-bit unsigned compare or full 64x64 multiply exists at
+// this level, so both are assembled from 32x32->64 pieces (_mm256_mul_epu32)
+// and signed compares — safe because every compared quantity here is < 2^34
+// (a post-Barrett remainder r < 2b with b < 2^32), far below the sign bit.
+// ---------------------------------------------------------------------------
+
+#define LRDIP_TGT_AVX2 __attribute__((target("avx2")))
+
+/// High 64 bits of the full 128-bit product x * m, exact, via 32-bit halves.
+LRDIP_TGT_AVX2 inline __m256i mulhi64_avx2(__m256i x, __m256i m) {
+  const __m256i lomask = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i x_lo = _mm256_and_si256(x, lomask);
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i m_lo = _mm256_and_si256(m, lomask);
+  const __m256i m_hi = _mm256_srli_epi64(m, 32);
+  const __m256i t = _mm256_mul_epu32(x_lo, m_lo);
+  const __m256i u = _mm256_add_epi64(_mm256_mul_epu32(x_hi, m_lo), _mm256_srli_epi64(t, 32));
+  const __m256i v = _mm256_add_epi64(_mm256_mul_epu32(x_lo, m_hi), _mm256_and_si256(u, lomask));
+  return _mm256_add_epi64(_mm256_mul_epu32(x_hi, m_hi),
+                          _mm256_add_epi64(_mm256_srli_epi64(u, 32), _mm256_srli_epi64(v, 32)));
+}
+
+/// Low 64 bits of q * b for b < 2^32 (b_hi == 0, so two partial products).
+LRDIP_TGT_AVX2 inline __m256i mullo64_b32_avx2(__m256i q, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(q, b);
+  const __m256i hi = _mm256_mul_epu32(_mm256_srli_epi64(q, 32), b);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+}
+
+/// x mod b: the scalar Barrett sequence, lane-parallel. bm1 = b - 1
+/// broadcast, for the r >= b compare.
+LRDIP_TGT_AVX2 inline __m256i reduce_avx2(__m256i x, __m256i b, __m256i bm1, __m256i m) {
+  const __m256i q = mulhi64_avx2(x, m);
+  __m256i r = _mm256_sub_epi64(x, mullo64_b32_avx2(q, b));
+  // Two conditional subtracts, mirroring the scalar loop's worst case.
+  r = _mm256_sub_epi64(r, _mm256_and_si256(b, _mm256_cmpgt_epi64(r, bm1)));
+  r = _mm256_sub_epi64(r, _mm256_and_si256(b, _mm256_cmpgt_epi64(r, bm1)));
+  return r;
+}
+
+/// a * c mod b for reduced operands (< b < 2^32): one exact 32x32 multiply.
+LRDIP_TGT_AVX2 inline __m256i mulmod_avx2(__m256i a, __m256i c, __m256i b, __m256i bm1,
+                                          __m256i m) {
+  return reduce_avx2(_mm256_mul_epu32(a, c), b, bm1, m);
+}
+
+/// a - c mod b for reduced operands: subtract, add back b on underflow.
+/// Also correct for a < 2b (the lazy-reduced Montgomery feed): the result
+/// then lies below 2b, which is all the REDC chain needs.
+LRDIP_TGT_AVX2 inline __m256i submod_avx2(__m256i a, __m256i c, __m256i b) {
+  const __m256i under = _mm256_cmpgt_epi64(c, a);
+  return _mm256_add_epi64(_mm256_sub_epi64(a, c), _mm256_and_si256(b, under));
+}
+
+/// Lazy Barrett: one conditional subtract, so r < 2b instead of < b. Feeds
+/// the Montgomery chain, which tolerates factors below 2b (b < 2^31).
+LRDIP_TGT_AVX2 inline __m256i reduce_lazy_avx2(__m256i x, __m256i b, __m256i bm1, __m256i m) {
+  const __m256i q = mulhi64_avx2(x, m);
+  __m256i r = _mm256_sub_epi64(x, mullo64_b32_avx2(q, b));
+  r = _mm256_sub_epi64(r, _mm256_and_si256(b, _mm256_cmpgt_epi64(r, bm1)));
+  return r;
+}
+
+/// REDC(t) = t * 2^{-32} mod b, lane-parallel, for t < 2^32 * b. pq holds
+/// -b^{-1} mod 2^32 in each lane's low half. Output < 2b; one conditional
+/// subtract brings it below b. t + c cannot wrap: t < 2b^2 and c < 2^32 b
+/// are each below 2^63 when b < 2^31.
+LRDIP_TGT_AVX2 inline __m256i redc_avx2(__m256i t, __m256i b, __m256i pq) {
+  const __m256i c = _mm256_mul_epu32(_mm256_mul_epu32(t, pq), b);
+  return _mm256_srli_epi64(_mm256_add_epi64(t, c), 32);
+}
+
+/// Montgomery chain step: acc * w * 2^{-32} mod b, fully reduced. acc < b
+/// keeps the next product inside the REDC bound even with w < 2b.
+LRDIP_TGT_AVX2 inline __m256i mulredc_avx2(__m256i acc, __m256i w, __m256i b, __m256i bm1,
+                                           __m256i pq) {
+  __m256i r = redc_avx2(_mm256_mul_epu32(acc, w), b, pq);
+  return _mm256_sub_epi64(r, _mm256_and_si256(b, _mm256_cmpgt_epi64(r, bm1)));
+}
+
+LRDIP_TGT_AVX2 void reduce_span_avx2(std::span<std::uint64_t> x, std::uint64_t bound,
+                                     std::uint64_t bm) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bound));
+  const __m256i bm1 = _mm256_set1_epi64x(static_cast<long long>(bound - 1));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(bm));
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x.data() + i));
+    v = reduce_avx2(v, b, bm1, m);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x.data() + i), v);
+  }
+  scalar_reduce_span(x.subspan(i), bound, bm);
+}
+
+LRDIP_TGT_AVX2 void mul_span_avx2(const Fp& f, std::span<const std::uint64_t> a,
+                                  std::span<const std::uint64_t> c,
+                                  std::span<std::uint64_t> out) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(f.modulus()));
+  const __m256i bm1 = _mm256_set1_epi64x(static_cast<long long>(f.modulus() - 1));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(f.barrett_m()));
+  std::size_t i = 0;
+  for (; i + 4 <= out.size(); i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+    const __m256i vc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c.data() + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i),
+                        mulmod_avx2(va, vc, b, bm1, m));
+  }
+  scalar_mul_span(f, a.subspan(i), c.subspan(i), out.subspan(i));
+}
+
+/// Pure-Barrett phi product — the path for moduli outside the Montgomery
+/// gate (even, or >= 2^31). Four independent accumulator vectors hide the
+/// multiply latency of the per-lane dependency chain; the product is
+/// commutative, so the final regrouping cannot change the value.
+LRDIP_TGT_AVX2 std::uint64_t phi_product_barrett_avx2(const Fp& f,
+                                                      std::span<const std::uint64_t> s,
+                                                      std::uint64_t xr) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(f.modulus()));
+  const __m256i bm1 = _mm256_set1_epi64x(static_cast<long long>(f.modulus() - 1));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(f.barrett_m()));
+  const __m256i xv = _mm256_set1_epi64x(static_cast<long long>(xr));
+  const std::uint64_t one = 1 % f.modulus();
+  __m256i acc0 = _mm256_set1_epi64x(static_cast<long long>(one));
+  __m256i acc1 = acc0;
+  __m256i acc2 = acc0;
+  __m256i acc3 = acc0;
+  std::size_t i = 0;
+  for (; i + 16 <= s.size(); i += 16) {
+    __m256i e0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i));
+    __m256i e1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i + 4));
+    __m256i e2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i + 8));
+    __m256i e3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i + 12));
+    e0 = submod_avx2(reduce_avx2(e0, b, bm1, m), xv, b);
+    e1 = submod_avx2(reduce_avx2(e1, b, bm1, m), xv, b);
+    e2 = submod_avx2(reduce_avx2(e2, b, bm1, m), xv, b);
+    e3 = submod_avx2(reduce_avx2(e3, b, bm1, m), xv, b);
+    acc0 = mulmod_avx2(acc0, e0, b, bm1, m);
+    acc1 = mulmod_avx2(acc1, e1, b, bm1, m);
+    acc2 = mulmod_avx2(acc2, e2, b, bm1, m);
+    acc3 = mulmod_avx2(acc3, e3, b, bm1, m);
+  }
+  for (; i + 4 <= s.size(); i += 4) {
+    __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i));
+    e = submod_avx2(reduce_avx2(e, b, bm1, m), xv, b);
+    acc0 = mulmod_avx2(acc0, e, b, bm1, m);
+  }
+  alignas(32) std::uint64_t lanes[16];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), acc1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 8), acc2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 12), acc3);
+  std::uint64_t acc = one;
+  for (std::uint64_t l : lanes) acc = f.mul(acc, l);
+  for (; i < s.size(); ++i) acc = f.mul(acc, f.sub(f.reduce(s[i]), xr));
+  return acc;
+}
+
+LRDIP_TGT_AVX2 std::uint64_t phi_product_avx2(const Fp& f, std::span<const std::uint64_t> s,
+                                              std::uint64_t xr) {
+  if (!mont_ok(f.modulus())) return phi_product_barrett_avx2(f, s, xr);
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(f.modulus()));
+  const __m256i bm1 = _mm256_set1_epi64x(static_cast<long long>(f.modulus() - 1));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(f.barrett_m()));
+  const __m256i pq = _mm256_set1_epi64x(static_cast<long long>(mont_ninv32(f.modulus())));
+  const __m256i xv = _mm256_set1_epi64x(static_cast<long long>(xr));
+  const std::uint64_t one = 1 % f.modulus();
+  // Elements flow load -> lazy Barrett (< 2p) -> submod (< 2p) -> REDC chain.
+  // Each chain step multiplies in one stray 2^{-32}; mont_fixup cancels them
+  // all after the lane fold, so the return value matches the scalar path
+  // bit-for-bit. Two accumulators hide the (short) REDC chain latency; more
+  // would spill — the kernel already keeps six broadcast constants live in a
+  // 16-register file.
+  __m256i acc0 = _mm256_set1_epi64x(static_cast<long long>(one));
+  __m256i acc1 = acc0;
+  std::size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    __m256i e0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i));
+    __m256i e1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i + 4));
+    e0 = submod_avx2(reduce_lazy_avx2(e0, b, bm1, m), xv, b);
+    e1 = submod_avx2(reduce_lazy_avx2(e1, b, bm1, m), xv, b);
+    acc0 = mulredc_avx2(acc0, e0, b, bm1, pq);
+    acc1 = mulredc_avx2(acc1, e1, b, bm1, pq);
+  }
+  for (; i + 4 <= s.size(); i += 4) {
+    __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s.data() + i));
+    e = submod_avx2(reduce_lazy_avx2(e, b, bm1, m), xv, b);
+    acc0 = mulredc_avx2(acc0, e, b, bm1, pq);
+  }
+  alignas(32) std::uint64_t lanes[8];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), acc1);
+  std::uint64_t acc = mont_fixup(f, i);  // cancels the i chain REDCs
+  for (std::uint64_t l : lanes) acc = f.mul(acc, l);
+  for (; i < s.size(); ++i) acc = f.mul(acc, f.sub(f.reduce(s[i]), xr));
+  return acc;
+}
+
+LRDIP_TGT_AVX2 void phi_prefix_rows_avx2(const Fp& f, std::span<const std::uint64_t> blk_pos,
+                                         int B, std::span<const std::uint64_t> factors,
+                                         std::span<std::uint64_t> rows) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(f.modulus()));
+  const __m256i bm1 = _mm256_set1_epi64x(static_cast<long long>(f.modulus() - 1));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(f.barrett_m()));
+  const __m256i onebit = _mm256_set1_epi64x(1);
+  const std::size_t stride = static_cast<std::size_t>(B) + 1;
+  std::size_t g = 0;
+  for (; g + 4 <= blk_pos.size(); g += 4) {
+    const __m256i pos =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk_pos.data() + g));
+    __m256i acc = _mm256_set1_epi64x(1);
+    std::uint64_t* r0 = rows.data() + (g + 0) * stride;
+    std::uint64_t* r1 = rows.data() + (g + 1) * stride;
+    std::uint64_t* r2 = rows.data() + (g + 2) * stride;
+    std::uint64_t* r3 = rows.data() + (g + 3) * stride;
+    for (int t = 1; t <= B; ++t) {
+      r0[t] = static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0));
+      r1[t] = static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1));
+      r2[t] = static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2));
+      r3[t] = static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+      // Lanes whose position word has bit t set absorb the shared factor.
+      const __m256i bit =
+          _mm256_and_si256(_mm256_srli_epi64(pos, B - t), onebit);
+      const __m256i take = _mm256_cmpeq_epi64(bit, onebit);
+      const __m256i mult = mulmod_avx2(
+          acc, _mm256_set1_epi64x(static_cast<long long>(factors[static_cast<std::size_t>(t)])),
+          b, bm1, m);
+      acc = _mm256_blendv_epi8(acc, mult, take);
+    }
+  }
+  scalar_phi_prefix_rows(f, blk_pos.subspan(g), B, factors,
+                         rows.subspan(g * stride));
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512: 8 lanes. Native 64-bit unsigned compares (mask registers) and
+// VPMULLQ make the sequence shorter than the AVX2 emulation.
+// ---------------------------------------------------------------------------
+
+#define LRDIP_TGT_AVX512 __attribute__((target("avx512f,avx512dq,avx512vl")))
+
+LRDIP_TGT_AVX512 inline __m512i mulhi64_avx512(__m512i x, __m512i m) {
+  const __m512i lomask = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i x_lo = _mm512_and_si512(x, lomask);
+  const __m512i x_hi = _mm512_srli_epi64(x, 32);
+  const __m512i m_lo = _mm512_and_si512(m, lomask);
+  const __m512i m_hi = _mm512_srli_epi64(m, 32);
+  const __m512i t = _mm512_mul_epu32(x_lo, m_lo);
+  const __m512i u = _mm512_add_epi64(_mm512_mul_epu32(x_hi, m_lo), _mm512_srli_epi64(t, 32));
+  const __m512i v = _mm512_add_epi64(_mm512_mul_epu32(x_lo, m_hi), _mm512_and_si512(u, lomask));
+  return _mm512_add_epi64(_mm512_mul_epu32(x_hi, m_hi),
+                          _mm512_add_epi64(_mm512_srli_epi64(u, 32), _mm512_srli_epi64(v, 32)));
+}
+
+/// Low 64 bits of q * b for b < 2^32. Two VPMULUDQ beat VPMULLQ, which
+/// microcodes to three multiplies on most AVX-512 parts.
+LRDIP_TGT_AVX512 inline __m512i mullo64_b32_avx512(__m512i q, __m512i b) {
+  const __m512i lo = _mm512_mul_epu32(q, b);
+  const __m512i hi = _mm512_mul_epu32(_mm512_srli_epi64(q, 32), b);
+  return _mm512_add_epi64(lo, _mm512_slli_epi64(hi, 32));
+}
+
+LRDIP_TGT_AVX512 inline __m512i reduce_avx512(__m512i x, __m512i b, __m512i m) {
+  const __m512i q = mulhi64_avx512(x, m);
+  __m512i r = _mm512_sub_epi64(x, mullo64_b32_avx512(q, b));
+  r = _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, b), r, b);
+  r = _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, b), r, b);
+  return r;
+}
+
+LRDIP_TGT_AVX512 inline __m512i mulmod_avx512(__m512i a, __m512i c, __m512i b, __m512i m) {
+  return reduce_avx512(_mm512_mul_epu32(a, c), b, m);
+}
+
+LRDIP_TGT_AVX512 inline __m512i submod_avx512(__m512i a, __m512i c, __m512i b) {
+  const __mmask8 under = _mm512_cmplt_epu64_mask(a, c);
+  return _mm512_mask_add_epi64(_mm512_sub_epi64(a, c), under,
+                               _mm512_sub_epi64(a, c), b);
+}
+
+/// Lazy Barrett (one conditional subtract, r < 2b) — see reduce_lazy_avx2.
+LRDIP_TGT_AVX512 inline __m512i reduce_lazy_avx512(__m512i x, __m512i b, __m512i m) {
+  const __m512i q = mulhi64_avx512(x, m);
+  __m512i r = _mm512_sub_epi64(x, mullo64_b32_avx512(q, b));
+  r = _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, b), r, b);
+  return r;
+}
+
+/// REDC and the Montgomery chain step — see the AVX2 twins for the bound
+/// arguments (they only use 32x32 multiplies, so the sequence is identical).
+LRDIP_TGT_AVX512 inline __m512i redc_avx512(__m512i t, __m512i b, __m512i pq) {
+  const __m512i c = _mm512_mul_epu32(_mm512_mul_epu32(t, pq), b);
+  return _mm512_srli_epi64(_mm512_add_epi64(t, c), 32);
+}
+
+LRDIP_TGT_AVX512 inline __m512i mulredc_avx512(__m512i acc, __m512i w, __m512i b,
+                                               __m512i pq) {
+  __m512i r = redc_avx512(_mm512_mul_epu32(acc, w), b, pq);
+  return _mm512_mask_sub_epi64(r, _mm512_cmpge_epu64_mask(r, b), r, b);
+}
+
+LRDIP_TGT_AVX512 void reduce_span_avx512(std::span<std::uint64_t> x, std::uint64_t bound,
+                                         std::uint64_t bm) {
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(bound));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(bm));
+  std::size_t i = 0;
+  for (; i + 8 <= x.size(); i += 8) {
+    __m512i v = _mm512_loadu_si512(x.data() + i);
+    v = reduce_avx512(v, b, m);
+    _mm512_storeu_si512(x.data() + i, v);
+  }
+  scalar_reduce_span(x.subspan(i), bound, bm);
+}
+
+LRDIP_TGT_AVX512 void mul_span_avx512(const Fp& f, std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> c,
+                                      std::span<std::uint64_t> out) {
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(f.modulus()));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(f.barrett_m()));
+  std::size_t i = 0;
+  for (; i + 8 <= out.size(); i += 8) {
+    const __m512i va = _mm512_loadu_si512(a.data() + i);
+    const __m512i vc = _mm512_loadu_si512(c.data() + i);
+    _mm512_storeu_si512(out.data() + i, mulmod_avx512(va, vc, b, m));
+  }
+  scalar_mul_span(f, a.subspan(i), c.subspan(i), out.subspan(i));
+}
+
+/// Pure-Barrett phi product for moduli outside the Montgomery gate; same
+/// four-accumulator structure as the AVX2 path (see the comment there).
+LRDIP_TGT_AVX512 std::uint64_t phi_product_barrett_avx512(const Fp& f,
+                                                          std::span<const std::uint64_t> s,
+                                                          std::uint64_t xr) {
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(f.modulus()));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(f.barrett_m()));
+  const __m512i xv = _mm512_set1_epi64(static_cast<long long>(xr));
+  const std::uint64_t one = 1 % f.modulus();
+  __m512i acc0 = _mm512_set1_epi64(static_cast<long long>(one));
+  __m512i acc1 = acc0;
+  __m512i acc2 = acc0;
+  __m512i acc3 = acc0;
+  std::size_t i = 0;
+  for (; i + 32 <= s.size(); i += 32) {
+    __m512i e0 = _mm512_loadu_si512(s.data() + i);
+    __m512i e1 = _mm512_loadu_si512(s.data() + i + 8);
+    __m512i e2 = _mm512_loadu_si512(s.data() + i + 16);
+    __m512i e3 = _mm512_loadu_si512(s.data() + i + 24);
+    e0 = submod_avx512(reduce_avx512(e0, b, m), xv, b);
+    e1 = submod_avx512(reduce_avx512(e1, b, m), xv, b);
+    e2 = submod_avx512(reduce_avx512(e2, b, m), xv, b);
+    e3 = submod_avx512(reduce_avx512(e3, b, m), xv, b);
+    acc0 = mulmod_avx512(acc0, e0, b, m);
+    acc1 = mulmod_avx512(acc1, e1, b, m);
+    acc2 = mulmod_avx512(acc2, e2, b, m);
+    acc3 = mulmod_avx512(acc3, e3, b, m);
+  }
+  for (; i + 8 <= s.size(); i += 8) {
+    __m512i e = _mm512_loadu_si512(s.data() + i);
+    e = submod_avx512(reduce_avx512(e, b, m), xv, b);
+    acc0 = mulmod_avx512(acc0, e, b, m);
+  }
+  alignas(64) std::uint64_t lanes[32];
+  _mm512_storeu_si512(lanes, acc0);
+  _mm512_storeu_si512(lanes + 8, acc1);
+  _mm512_storeu_si512(lanes + 16, acc2);
+  _mm512_storeu_si512(lanes + 24, acc3);
+  std::uint64_t acc = one;
+  for (std::uint64_t l : lanes) acc = f.mul(acc, l);
+  for (; i < s.size(); ++i) acc = f.mul(acc, f.sub(f.reduce(s[i]), xr));
+  return acc;
+}
+
+LRDIP_TGT_AVX512 std::uint64_t phi_product_avx512(const Fp& f,
+                                                  std::span<const std::uint64_t> s,
+                                                  std::uint64_t xr) {
+  if (!mont_ok(f.modulus())) return phi_product_barrett_avx512(f, s, xr);
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(f.modulus()));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(f.barrett_m()));
+  const __m512i pq = _mm512_set1_epi64(static_cast<long long>(mont_ninv32(f.modulus())));
+  const __m512i xv = _mm512_set1_epi64(static_cast<long long>(xr));
+  const std::uint64_t one = 1 % f.modulus();
+  // Montgomery chain with the scalar fix-up, exactly as in the AVX2 path.
+  __m512i acc0 = _mm512_set1_epi64(static_cast<long long>(one));
+  __m512i acc1 = acc0;
+  __m512i acc2 = acc0;
+  __m512i acc3 = acc0;
+  std::size_t i = 0;
+  for (; i + 32 <= s.size(); i += 32) {
+    __m512i e0 = _mm512_loadu_si512(s.data() + i);
+    __m512i e1 = _mm512_loadu_si512(s.data() + i + 8);
+    __m512i e2 = _mm512_loadu_si512(s.data() + i + 16);
+    __m512i e3 = _mm512_loadu_si512(s.data() + i + 24);
+    e0 = submod_avx512(reduce_lazy_avx512(e0, b, m), xv, b);
+    e1 = submod_avx512(reduce_lazy_avx512(e1, b, m), xv, b);
+    e2 = submod_avx512(reduce_lazy_avx512(e2, b, m), xv, b);
+    e3 = submod_avx512(reduce_lazy_avx512(e3, b, m), xv, b);
+    acc0 = mulredc_avx512(acc0, e0, b, pq);
+    acc1 = mulredc_avx512(acc1, e1, b, pq);
+    acc2 = mulredc_avx512(acc2, e2, b, pq);
+    acc3 = mulredc_avx512(acc3, e3, b, pq);
+  }
+  for (; i + 8 <= s.size(); i += 8) {
+    __m512i e = _mm512_loadu_si512(s.data() + i);
+    e = submod_avx512(reduce_lazy_avx512(e, b, m), xv, b);
+    acc0 = mulredc_avx512(acc0, e, b, pq);
+  }
+  alignas(64) std::uint64_t lanes[32];
+  _mm512_storeu_si512(lanes, acc0);
+  _mm512_storeu_si512(lanes + 8, acc1);
+  _mm512_storeu_si512(lanes + 16, acc2);
+  _mm512_storeu_si512(lanes + 24, acc3);
+  std::uint64_t acc = mont_fixup(f, i);  // cancels the i chain REDCs
+  for (std::uint64_t l : lanes) acc = f.mul(acc, l);
+  for (; i < s.size(); ++i) acc = f.mul(acc, f.sub(f.reduce(s[i]), xr));
+  return acc;
+}
+
+LRDIP_TGT_AVX512 void phi_prefix_rows_avx512(const Fp& f,
+                                             std::span<const std::uint64_t> blk_pos, int B,
+                                             std::span<const std::uint64_t> factors,
+                                             std::span<std::uint64_t> rows) {
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(f.modulus()));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(f.barrett_m()));
+  const std::size_t stride = static_cast<std::size_t>(B) + 1;
+  std::size_t g = 0;
+  for (; g + 8 <= blk_pos.size(); g += 8) {
+    const __m512i pos = _mm512_loadu_si512(blk_pos.data() + g);
+    __m512i acc = _mm512_set1_epi64(1);
+    alignas(64) std::uint64_t lanes[8];
+    for (int t = 1; t <= B; ++t) {
+      _mm512_storeu_si512(lanes, acc);
+      for (int l = 0; l < 8; ++l) rows[(g + l) * stride + static_cast<std::size_t>(t)] = lanes[l];
+      const __mmask8 take = _mm512_test_epi64_mask(
+          _mm512_srli_epi64(pos, B - t), _mm512_set1_epi64(1));
+      const __m512i mult = mulmod_avx512(
+          acc, _mm512_set1_epi64(static_cast<long long>(factors[static_cast<std::size_t>(t)])),
+          b, m);
+      acc = _mm512_mask_mov_epi64(acc, take, mult);
+    }
+  }
+  scalar_phi_prefix_rows(f, blk_pos.subspan(g), B, factors,
+                         rows.subspan(g * stride));
+}
+
+#endif  // LRDIP_SIMD_X86
+
+/// Shared per-index factors (t - rp) mod p for the prefix-row kernels:
+/// identical across blocks, so computed once per call, not per lane.
+std::vector<std::uint64_t> prefix_factors(const Fp& f, int B, std::uint64_t rp) {
+  std::vector<std::uint64_t> factors(static_cast<std::size_t>(B) + 1, 0);
+  for (int t = 1; t <= B; ++t) {
+    factors[static_cast<std::size_t>(t)] =
+        f.sub(f.reduce(static_cast<std::uint64_t>(t)), f.reduce(rp));
+  }
+  return factors;
+}
+
+}  // namespace
+
+int active_lanes() {
+  switch (simd_active_level()) {
+    case SimdLevel::avx512:
+      return 8;
+    case SimdLevel::avx2:
+      return 4;
+    case SimdLevel::scalar:
+      return 1;
+  }
+  return 1;
+}
+
+const char* active_level_name() { return simd_level_name(simd_active_level()); }
+
+void reduce_span(const Fp& f, std::span<std::uint64_t> x) { mod_span(f.modulus(), x); }
+
+void mod_span(std::uint64_t bound, std::span<std::uint64_t> x) {
+  LRDIP_CHECK(bound >= 1);
+  if (bound == 1) {
+    for (std::uint64_t& v : x) v = 0;
+    return;
+  }
+  if (bound >= (std::uint64_t{1} << 32)) {
+    // Coin bounds can in principle exceed the field range; the hardware
+    // divide is the reference there (no protocol draws such coins today).
+    for (std::uint64_t& v : x) v %= bound;
+    return;
+  }
+  const std::uint64_t m = barrett_m_for(bound);
+#if LRDIP_SIMD_X86
+  switch (simd_active_level()) {
+    case SimdLevel::avx512:
+      reduce_span_avx512(x, bound, m);
+      return;
+    case SimdLevel::avx2:
+      reduce_span_avx2(x, bound, m);
+      return;
+    case SimdLevel::scalar:
+      break;
+  }
+#endif
+  scalar_reduce_span(x, bound, m);
+}
+
+void mul_span(const Fp& f, std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+              std::span<std::uint64_t> out) {
+  LRDIP_CHECK(a.size() == out.size() && b.size() == out.size());
+#if LRDIP_SIMD_X86
+  switch (simd_active_level()) {
+    case SimdLevel::avx512:
+      mul_span_avx512(f, a, b, out);
+      return;
+    case SimdLevel::avx2:
+      mul_span_avx2(f, a, b, out);
+      return;
+    case SimdLevel::scalar:
+      break;
+  }
+#endif
+  scalar_mul_span(f, a, b, out);
+}
+
+std::uint64_t phi_product(const Fp& f, std::span<const std::uint64_t> multiset,
+                          std::uint64_t x) {
+  const std::uint64_t xr = f.reduce(x);
+#if LRDIP_SIMD_X86
+  switch (simd_active_level()) {
+    case SimdLevel::avx512:
+      return phi_product_avx512(f, multiset, xr);
+    case SimdLevel::avx2:
+      return phi_product_avx2(f, multiset, xr);
+    case SimdLevel::scalar:
+      break;
+  }
+#endif
+  return scalar_phi_product(f, multiset, xr);
+}
+
+void phi_prefix_rows(const Fp& f, std::span<const std::uint64_t> blk_pos, int B,
+                     std::uint64_t rp, std::span<std::uint64_t> rows) {
+  LRDIP_CHECK(B >= 1 && B <= 63);
+  LRDIP_CHECK(rows.size() >= blk_pos.size() * (static_cast<std::size_t>(B) + 1));
+  const std::vector<std::uint64_t> factors = prefix_factors(f, B, rp);
+#if LRDIP_SIMD_X86
+  switch (simd_active_level()) {
+    case SimdLevel::avx512:
+      phi_prefix_rows_avx512(f, blk_pos, B, factors, rows);
+      return;
+    case SimdLevel::avx2:
+      phi_prefix_rows_avx2(f, blk_pos, B, factors, rows);
+      return;
+    case SimdLevel::scalar:
+      break;
+  }
+#endif
+  scalar_phi_prefix_rows(f, blk_pos, B, factors, rows);
+}
+
+}  // namespace lrdip::fp_simd

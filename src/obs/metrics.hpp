@@ -108,6 +108,13 @@ struct RunMetrics {
   int rejected_nodes = 0;
   std::array<std::int64_t, 5> reject_reasons{};  // indexed by RejectReason
 
+  // Arithmetic backend: the SIMD dispatch level active for this run (stamped
+  // at begin_run from support/cpu.hpp) and whether the field layer attested
+  // that reduce/mul ran divide-free Barrett (stamped by finalize()).
+  std::string simd_level;
+  int simd_lanes = 1;
+  bool barrett_enabled = false;
+
   // Engine.
   ParallelStats parallel;
   std::map<std::string, StageTiming> stages;
@@ -160,6 +167,9 @@ class MetricsRegistry {
   void record_outcome(bool accepted, int rounds, int proof_size_bits,
                       std::int64_t total_label_bits, int max_coin_bits, int rejected_nodes,
                       std::span<const std::int64_t> reason_hist);
+  /// Field-layer attestation that the run's reduce/mul were divide-free
+  /// (obs cannot see the field library, so the caller reports it).
+  void record_barrett(bool enabled);
 
  private:
   MetricsRegistry() = default;

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "dip/faults.hpp"
+#include "dip/parallel.hpp"
 #include "field/fp.hpp"
+#include "field/fp_simd.hpp"
 #include "field/primes.hpp"
 #include "graph/degeneracy.hpp"
 #include "obs/metrics.hpp"
@@ -262,7 +264,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   const std::uint64_t r = f.sample(rng);
   const std::uint64_t rp = f.sample(rng);
   std::vector<std::uint64_t> rb(nb);
-  for (int b = 0; b < nb; ++b) rb[b] = f.sample(rng);
+  f.sample_span(rng, rb);  // stream-identical to nb sequential f.sample calls
 
   // Prefix evaluations P_i = phi^b_i(r') (honest; pinned by local checks).
   std::vector<std::uint64_t> pfx(n, 1);
@@ -279,14 +281,14 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   // pass below queries this O(m * B) times in the worst case, so the O(nb * B)
   // table turns each query into a load.
   std::vector<std::uint64_t> phi_pref(static_cast<std::size_t>(nb) * (B + 1));
-  parallel_for(nb, [&](std::int64_t b) {
-    std::uint64_t* row = phi_pref.data() + static_cast<std::size_t>(b) * (B + 1);
-    const std::uint64_t x1 = blk_pos[b];
-    std::uint64_t acc = 1;
-    for (int t = 1; t <= B; ++t) {
-      row[t] = acc;  // product over indices strictly below t
-      if ((x1 >> (B - t)) & 1) acc = f.mul(acc, f.sub(static_cast<std::uint64_t>(t), rp));
-    }
+  detail::parallel_for_ranges(nb, /*grain=*/512, [&](std::int64_t lo, std::int64_t hi) {
+    // One SIMD lane per block within the chunk; rows are value-identical at
+    // every dispatch level, so chunking stays unobservable.
+    fp_simd::phi_prefix_rows(
+        f, std::span<const std::uint64_t>(blk_pos.data() + lo, static_cast<std::size_t>(hi - lo)),
+        B, rp,
+        std::span<std::uint64_t>(phi_pref.data() + static_cast<std::size_t>(lo) * (B + 1),
+                                 static_cast<std::size_t>(hi - lo) * (B + 1)));
   });
   auto phi_prefix = [&](int b, int upto_exclusive) {
     return phi_pref[static_cast<std::size_t>(b) * (B + 1) + upto_exclusive];
@@ -296,6 +298,9 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   std::vector<char> kind(g.m(), 0);
   std::vector<int> dist_i(g.m(), 1);
   std::vector<std::uint64_t> jval(g.m(), 0);
+  // Position words are B-bit; index scans below run on masked words so bit
+  // tricks see exactly the bits the per-index loops used to visit.
+  const std::uint64_t bmask = (std::uint64_t{1} << B) - 1;
   parallel_for(g.m(), [&](std::int64_t ei) {
     const EdgeId e = static_cast<EdgeId>(ei);
     if (pl.is_path_edge[e]) return;
@@ -309,20 +314,13 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
         kind[e] = 0;
       } else {
         kind[e] = 1;
-        // Distinguishing index of (pos(bt), pos(bh)). With honest block
-        // positions this always exists; under the block-shift cheat two
-        // blocks can carry equal positions, in which case the prover falls
-        // back to a doomed commitment.
-        int di = -1;
-        for (int b = 1; b <= B; ++b) {
-          const int bit_t = static_cast<int>((blk_pos[bt] >> (B - b)) & 1);
-          const int bit_h = static_cast<int>((blk_pos[bh] >> (B - b)) & 1);
-          if (bit_t != bit_h) {
-            di = b;
-            break;
-          }
-        }
-        dist_i[e] = (di == -1) ? 1 : di;
+        // Distinguishing index of (pos(bt), pos(bh)): the highest differing
+        // bit, straight from the xor. With honest block positions it always
+        // exists; under the block-shift cheat two blocks can carry equal
+        // positions, in which case the prover falls back to a doomed
+        // commitment.
+        const std::uint64_t diff = (blk_pos[bt] ^ blk_pos[bh]) & bmask;
+        dist_i[e] = diff == 0 ? 1 : B - floor_log2(diff);
         jval[e] = phi_prefix(bt, dist_i[e]);
       }
     } else {
@@ -336,17 +334,19 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
       // Look for an index where the bits support the claim AND the prefix
       // evaluations collide at r' (a PIT win); otherwise commit to the least
       // detectable option: bits support the claim, j matches the tail side.
+      // Supporting indices (tail bit 0, head bit 1) fall out of one mask;
+      // the scan walks only its set bits, smallest index first.
+      std::uint64_t cand = ~blk_pos[bt] & blk_pos[bh] & bmask;
       int best = -1;
-      for (int b = 1; b <= B; ++b) {
-        const int bit_t = static_cast<int>((blk_pos[bt] >> (B - b)) & 1);
-        const int bit_h = static_cast<int>((blk_pos[bh] >> (B - b)) & 1);
-        if (bit_t == 0 && bit_h == 1) {
-          if (phi_prefix(bt, b) == phi_prefix(bh, b)) {
-            best = b;
-            break;  // outright PIT win
-          }
-          if (best == -1) best = b;
+      while (cand != 0) {
+        const int hb = floor_log2(cand);
+        const int b = B - hb;
+        if (phi_prefix(bt, b) == phi_prefix(bh, b)) {
+          best = b;
+          break;  // outright PIT win
         }
+        if (best == -1) best = b;
+        cand ^= std::uint64_t{1} << hb;
       }
       if (best == -1) best = 1;  // no supporting index exists; doomed commit
       dist_i[e] = best;
@@ -638,7 +638,17 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
 
   StageResult out;
   out.rounds = kLrSortingRounds;
-  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+  // Decision cost per node tracks its commitment-segment lengths (the chain
+  // recomputation and E3 merges walk them), and the CSR offset arrays are
+  // exactly those prefix sums — so they drive the chunk boundaries, keeping
+  // hub-heavy instances off the one-slow-chunk tail.
+  std::vector<std::int64_t> decide_cost(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v <= n; ++v) {
+    decide_cost[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(v) +
+                                               dec->c0_off[static_cast<std::size_t>(v)] +
+                                               dec->c1_off[static_cast<std::size_t>(v)];
+  }
+  out.node_reasons = decide_nodes_reasons(n, decide_cost, [&](NodeId v, LocalVerdict& verdict) {
     verdict.reject(node_defect[v]);
     const int i = pl.pos[v];
     const int j = idx_d[v];

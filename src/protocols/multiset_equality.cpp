@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "field/fp_simd.hpp"
 #include "field/primes.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
@@ -11,10 +12,12 @@ namespace lrdip {
 Fp multiset_equality_field(std::uint64_t size_bound, int universe_exponent) {
   LRDIP_CHECK(size_bound >= 1);
   LRDIP_CHECK(universe_exponent >= 1);
-  // p > k^{c+1}; cap the argument so the modulus stays in range.
+  // p > k^{c+1}; cap the argument so the modulus stays inside the Fp range
+  // (construction rejects p >= 2^32 — see field/fp.hpp).
   long double target = 1;
   for (int i = 0; i < universe_exponent + 1; ++i) target *= static_cast<long double>(size_bound);
-  LRDIP_CHECK_MSG(target < std::ldexp(1.0L, 61), "field too large for 64-bit backend");
+  LRDIP_CHECK_MSG(target < std::ldexp(1.0L, 31),
+                  "multiset-equality field exceeds the 2^32 modulus bound");
   return Fp(cached_prime_above(static_cast<std::uint64_t>(target)));
 }
 
@@ -44,8 +47,8 @@ StageResult verify_multiset_equality(const Graph& g, const RootedForest& tree,
   std::vector<std::uint64_t> a1(n), a2(n);
   for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
     const NodeId v = *it;
-    std::uint64_t p1 = f.multiset_poly(in.s1[v], z);
-    std::uint64_t p2 = f.multiset_poly(in.s2[v], z);
+    std::uint64_t p1 = fp_simd::phi_product(f, in.s1[v], z);
+    std::uint64_t p2 = fp_simd::phi_product(f, in.s2[v], z);
     for (NodeId c : children[v]) {
       p1 = f.mul(p1, a1[c]);
       p2 = f.mul(p2, a2[c]);
@@ -65,9 +68,19 @@ StageResult verify_multiset_equality(const Graph& g, const RootedForest& tree,
   out.coin_bits.assign(n, 0);
   out.coin_bits[root] = fbits;
   out.rounds = 2;
-  out.node_accepts = decide_nodes(n, [&](NodeId v) {
-    std::uint64_t p1 = f.multiset_poly(in.s1[v], z);
-    std::uint64_t p2 = f.multiset_poly(in.s2[v], z);
+  // Decision cost per node is its multiset sizes plus its child count, so
+  // the chunk boundaries follow that prefix rather than the node count.
+  std::vector<std::int64_t> decide_cost(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    decide_cost[static_cast<std::size_t>(v) + 1] =
+        decide_cost[static_cast<std::size_t>(v)] + 1 +
+        static_cast<std::int64_t>(in.s1[v].size() + in.s2[v].size() + children[v].size());
+  }
+  out.node_accepts = decide_nodes(n, decide_cost, [&](NodeId v) {
+    // phi_product is value-identical to Fp::multiset_poly at every dispatch
+    // level (see field/fp_simd.hpp), so the decision stays deterministic.
+    std::uint64_t p1 = fp_simd::phi_product(f, in.s1[v], z);
+    std::uint64_t p2 = fp_simd::phi_product(f, in.s2[v], z);
     for (NodeId c : children[v]) {
       p1 = f.mul(p1, a1[c]);
       p2 = f.mul(p2, a2[c]);

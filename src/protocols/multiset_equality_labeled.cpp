@@ -51,7 +51,8 @@ Outcome verify_multiset_equality_labeled(const Graph& g, const RootedForest& tre
   // --- Decision via NodeViews: the z relay, the product recurrences, the
   // root comparison (one node per executor iteration). Checked reads: any
   // structural defect is a local reject, never an exception.
-  std::vector<RejectReason> reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+  std::vector<RejectReason> reasons =
+      decide_nodes_reasons(n, degree_cost_prefix(g), [&](NodeId v, LocalVerdict& verdict) {
     const NodeView view(labels, coins, v);
     const Label& mine = view.own(L::kRoundResponse);
     expect_fields(mine, 3, verdict);

@@ -244,7 +244,8 @@ StageResult nesting_stage_with_fragments(const Graph& g, const std::vector<NodeI
     return walk(anchor, 0);
   };
 
-  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
+  out.node_reasons =
+      decide_nodes_reasons(n, degree_cost_prefix(g), [&](NodeId v, LocalVerdict& verdict) {
     verdict.reject(node_defect[v]);
     bool ok = true;
     std::vector<EdgeId> right_edges, left_edges;

@@ -174,12 +174,13 @@ StageResult path_outerplanarity_stage(const PathOuterplanarityInstance& inst,
     const NodeId v = static_cast<NodeId>(vi);
     decoded_parent[v] = decode_forest_parent(g, v, code_of);
   });
-  commit.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
-    verdict.reject(code_defect[v]);
-    verdict.require(!forest_parent_ambiguous(g, v, code_of));
-    verdict.require(decode_forest_children(g, v, code_of).size() <= 1);
-    return true;
-  });
+  commit.node_reasons =
+      decide_nodes_reasons(n, degree_cost_prefix(g), [&](NodeId v, LocalVerdict& verdict) {
+        verdict.reject(code_defect[v]);
+        verdict.require(!forest_parent_ambiguous(g, v, code_of));
+        verdict.require(decode_forest_children(g, v, code_of).size() <= 1);
+        return true;
+      });
   commit.node_accepts = accepts_from_reasons(commit.node_reasons);
   const int reps = po_repetitions(n, params.c);
   StageResult st = verify_spanning_tree(g, decoded_parent, reps, rng, faults);

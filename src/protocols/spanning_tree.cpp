@@ -133,11 +133,12 @@ StageResult verify_spanning_tree(const Graph& g, const std::vector<NodeId>& clai
   out.node_bits.assign(n, 2 * k);  // X value + nonce copy
   out.coin_bits = std::move(coin_bits);
   out.rounds = 3;
-  out.node_reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
-    const NodeView view(labels, coins, v);
-    verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
-    return true;  // failures recorded in the verdict
-  });
+  out.node_reasons =
+      decide_nodes_reasons(n, degree_cost_prefix(g), [&](NodeId v, LocalVerdict& verdict) {
+        const NodeView view(labels, coins, v);
+        verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
+        return true;  // failures recorded in the verdict
+      });
   out.node_accepts = accepts_from_reasons(out.node_reasons);
   return out;
 }

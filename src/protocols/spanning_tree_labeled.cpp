@@ -144,11 +144,12 @@ Outcome verify_spanning_tree_labeled(const Graph& g, const std::vector<NodeId>& 
   if (faults != nullptr) faults->corrupt(labels, coins);
 
   // --- Decision through NodeViews only (one per node, in parallel).
-  std::vector<RejectReason> reasons = decide_nodes_reasons(n, [&](NodeId v, LocalVerdict& verdict) {
-    const NodeView view(labels, coins, v);
-    verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
-    return true;  // all failures already recorded in the verdict
-  });
+  std::vector<RejectReason> reasons =
+      decide_nodes_reasons(n, degree_cost_prefix(g), [&](NodeId v, LocalVerdict& verdict) {
+        const NodeView view(labels, coins, v);
+        verdict.reject(st_labeled_node_verdict(view, claimed_parent[v], children[v], k));
+        return true;  // all failures already recorded in the verdict
+      });
   return finalize(stage_from_stores(labels, coins, std::move(reasons), /*rounds=*/3));
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "field/fp.hpp"
 #include "obs/metrics.hpp"
 #include "support/check.hpp"
 
@@ -67,6 +68,7 @@ Outcome finalize(const StageResult& s) {
     obs::MetricsRegistry::instance().record_outcome(o.accepted, o.rounds, o.proof_size_bits,
                                                     o.total_label_bits, o.max_coin_bits,
                                                     o.rejected_nodes, hist);
+    obs::MetricsRegistry::instance().record_barrett(Fp::barrett_always_enabled());
   }
   return o;
 }
@@ -98,6 +100,15 @@ std::vector<char> accepts_from_reasons(const std::vector<RejectReason>& reasons)
     if (reasons[v] != RejectReason::none) accepts[v] = 0;
   }
   return accepts;
+}
+
+std::vector<std::int64_t> degree_cost_prefix(const Graph& g) {
+  std::vector<std::int64_t> prefix(static_cast<std::size_t>(g.n()) + 1, 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    prefix[static_cast<std::size_t>(v) + 1] =
+        prefix[static_cast<std::size_t>(v)] + 1 + g.degree(v);
+  }
+  return prefix;
 }
 
 }  // namespace lrdip

@@ -103,6 +103,27 @@ std::vector<char> decide_nodes(int n, F&& decide) {
   return accepts;
 }
 
+/// Degree-aware decide_nodes: `prefix` is a monotone per-node cost prefix
+/// (size n + 1, e.g. from degree_cost_prefix or a CSR offset array) and
+/// drives cost-balanced chunk boundaries, so hub nodes in a skewed degree
+/// distribution no longer serialize the tail of the decision. Results are
+/// bit-identical to the unweighted overload — only scheduling changes.
+template <typename Prefix, typename F>
+std::vector<char> decide_nodes(int n, const Prefix& prefix, F&& decide) {
+  std::vector<char> accepts(static_cast<std::size_t>(n), 1);
+  auto fn = std::forward<F>(decide);
+  parallel_for_weighted(n, prefix, [&](std::int64_t v) {
+    bool ok = false;
+    try {
+      ok = fn(static_cast<NodeId>(v));
+    } catch (...) {
+      ok = false;
+    }
+    if (!ok) accepts[static_cast<std::size_t>(v)] = 0;
+  });
+  return accepts;
+}
+
 /// Firewalled decision with reject-reason reporting. `decide(v, verdict)`
 /// performs checked reads (recording structural defects in `verdict`) and
 /// returns whether its semantic checks passed; a false return records
@@ -125,7 +146,30 @@ std::vector<RejectReason> decide_nodes_reasons(int n, F&& decide) {
   return reasons;
 }
 
+/// Degree-aware decide_nodes_reasons; see the weighted decide_nodes overload.
+template <typename Prefix, typename F>
+std::vector<RejectReason> decide_nodes_reasons(int n, const Prefix& prefix, F&& decide) {
+  std::vector<RejectReason> reasons(static_cast<std::size_t>(n), RejectReason::none);
+  auto fn = std::forward<F>(decide);
+  parallel_for_weighted(n, prefix, [&](std::int64_t i) {
+    const NodeId v = static_cast<NodeId>(i);
+    LocalVerdict verdict;
+    try {
+      if (!fn(v, verdict)) verdict.reject(RejectReason::check_failed);
+    } catch (...) {
+      verdict.reject(RejectReason::malformed_label);
+    }
+    reasons[static_cast<std::size_t>(i)] = verdict.reason();
+  });
+  return reasons;
+}
+
 /// Accept flags implied by a reason vector (none => accept).
 std::vector<char> accepts_from_reasons(const std::vector<RejectReason>& reasons);
+
+/// Monotone cost prefix (size n + 1) with per-node cost 1 + degree(v): the
+/// canonical input for the weighted decide overloads when the decision body
+/// scans the node's neighborhood.
+std::vector<std::int64_t> degree_cost_prefix(const Graph& g);
 
 }  // namespace lrdip

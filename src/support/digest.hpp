@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace lrdip {
 
@@ -21,6 +22,17 @@ inline std::uint64_t fnv1a_word(std::uint64_t digest, std::uint64_t word) {
     digest ^= (word >> (8 * i)) & 0xffu;
     digest *= kFnvPrime;
   }
+  return digest;
+}
+
+/// Folds a span of words, value-identical to calling fnv1a_word in order.
+/// The mixing itself stays scalar: FNV-1a interleaves xor with a multiply, so
+/// the chain cannot be split across lanes without changing the digest. What
+/// batching buys is the feed — callers gather scattered label fields into one
+/// contiguous buffer and fold it in a single tight loop, instead of
+/// interleaving per-field accessor calls with the mixing.
+inline std::uint64_t fnv1a_span(std::uint64_t digest, std::span<const std::uint64_t> words) {
+  for (std::uint64_t w : words) digest = fnv1a_word(digest, w);
   return digest;
 }
 

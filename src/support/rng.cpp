@@ -45,6 +45,18 @@ std::uint64_t Rng::uniform(std::uint64_t bound) {
   return x % bound;
 }
 
+void Rng::fill_uniform_raw(std::span<std::uint64_t> out, std::uint64_t bound) {
+  LRDIP_CHECK(bound > 0);
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  for (std::uint64_t& slot : out) {
+    std::uint64_t x;
+    do {
+      x = next_u64();
+    } while (x >= limit);
+    slot = x;
+  }
+}
+
 std::uint64_t Rng::uniform_in(std::uint64_t lo, std::uint64_t hi) {
   LRDIP_CHECK(lo <= hi);
   return lo + uniform(hi - lo + 1);

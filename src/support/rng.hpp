@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lrdip {
@@ -19,6 +20,13 @@ class Rng {
 
   /// Uniform value in [0, bound). bound must be > 0.
   std::uint64_t uniform(std::uint64_t bound);
+
+  /// Fills `out` with raw accepted words from the same rejection loop
+  /// uniform(bound) runs — i.e. out[i] % bound recovers exactly the value the
+  /// i-th uniform(bound) call would have returned, and the generator advances
+  /// identically. Callers batch the final mod (fp_simd::mod_span) so the
+  /// per-word divide leaves the hot loop.
+  void fill_uniform_raw(std::span<std::uint64_t> out, std::uint64_t bound);
 
   /// Uniform value in [lo, hi] inclusive.
   std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi);

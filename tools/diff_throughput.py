@@ -18,20 +18,54 @@ import json
 import sys
 
 
-def load_benchmarks(path):
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    out = {}
-    for b in doc.get("benchmarks", []):
-        # aggregate rows (mean/median/stddev) would double-count; keep raw ones
-        if b.get("run_type", "iteration") != "iteration":
+
+
+def iteration_rows(doc):
+    # aggregate rows (mean/median/stddev) would double-count; keep raw ones
+    return [b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"]
+
+
+def load_benchmarks(doc):
+    return {b["name"]: float(b.get("cpu_time", b.get("real_time", 0.0)))
+            for b in iteration_rows(doc)}
+
+
+def report_phi_batch(doc):
+    """Summarize the BM_PhiBatch SIMD-kernel rows: per span size, the
+    items/s of each dispatch level and its speedup over the scalar lane,
+    plus the lane counts the benchmark recorded. Skipped silently when the
+    baseline predates the kernel benchmarks."""
+    rows = {}
+    for b in iteration_rows(doc):
+        name = b.get("name", "")
+        if not name.startswith("BM_PhiBatch/"):
             continue
-        out[b["name"]] = float(b.get("cpu_time", b.get("real_time", 0.0)))
-    return out
+        level = b.get("label", name.split("/")[1])
+        size = int(name.split("/")[2])
+        rows.setdefault(size, {})[level] = (
+            float(b.get("items_per_second", 0.0)), int(b.get("lanes", 0)))
+    if not rows:
+        return
+    ctx = doc.get("context", {})
+    host = ctx.get("simd_host_level", "?")
+    print(f"\nBM_PhiBatch kernel throughput (host dispatch level: {host})")
+    print(f"{'span':>10} {'level':<8} {'lanes':>5} {'items/s':>14} {'vs scalar':>10}")
+    for size in sorted(rows):
+        scalar_ips = rows[size].get("scalar", (0.0, 1))[0]
+        for level in ("scalar", "avx2", "avx512"):
+            if level not in rows[size]:
+                continue
+            ips, lanes = rows[size][level]
+            speedup = f"{ips / scalar_ips:>9.2f}x" if scalar_ips > 0 else f"{'-':>10}"
+            print(f"{size:>10} {level:<8} {lanes:>5} {ips:>14.3e} {speedup}")
 
 
 def main():
@@ -42,8 +76,9 @@ def main():
                     help="flag benchmarks slower than baseline by more than this")
     args = ap.parse_args()
 
-    current = load_benchmarks(args.current)
-    baseline = load_benchmarks(args.baseline)
+    current_doc = load_doc(args.current)
+    current = load_benchmarks(current_doc)
+    baseline = load_benchmarks(load_doc(args.baseline))
     if not current:
         print(f"warning: no benchmarks in {args.current}")
         return
@@ -70,6 +105,8 @@ def main():
               f"by more than {args.warn_pct:.0f}% (warn-only; runners are noisy)")
     else:
         print("\nno benchmark slower than baseline beyond the warn threshold")
+
+    report_phi_batch(current_doc)
 
 
 if __name__ == "__main__":
