@@ -22,6 +22,13 @@
 //
 // Every rejection or error prints the effective seed and a one-line repro
 // command, so a flaky run in a larger harness can be replayed exactly.
+//
+// Exit codes are a contract (scripts and the ctest smokes branch on them):
+//   0  the verification accepted (or the subcommand completed);
+//   1  the verification rejected (an answer, not an error);
+//   2  usage or malformed input: bad flags, unknown tasks, graph files that
+//      do not parse, manifests or certificates the task cannot use;
+//   3  internal error — anything that is the tool's fault, not the input's.
 #include <array>
 #include <cstring>
 #include <filesystem>
@@ -46,6 +53,13 @@
 namespace {
 
 using namespace lrdip;
+
+/// The caller got the invocation wrong (exit 2) — as opposed to an
+/// InvariantError, which past the parse/bind boundary means the tool itself
+/// broke (exit 3).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 int usage() {
   std::cerr << "usage:\n"
@@ -93,10 +107,10 @@ std::uint32_t parse_models(const std::string& spec) {
   std::string name;
   while (std::getline(ss, name, ',')) {
     const auto m = fault_model_from_name(name);
-    LRDIP_CHECK_MSG(m.has_value(), "unknown fault model: " + name);
+    if (!m.has_value()) throw UsageError("unknown fault model: " + name);
     mask |= fault_bit(*m);
   }
-  LRDIP_CHECK_MSG(mask != 0, "empty fault model list");
+  if (mask == 0) throw UsageError("empty fault model list");
   return mask;
 }
 
@@ -105,7 +119,7 @@ Options parse_options(int argc, char** argv, int from) {
   for (int i = from; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
-      LRDIP_CHECK_MSG(i + 1 < argc, "missing value for " + a);
+      if (i + 1 >= argc) throw UsageError("missing value for " + a);
       return argv[++i];
     };
     if (a == "--seed") {
@@ -125,8 +139,9 @@ Options parse_options(int argc, char** argv, int from) {
       opt.models = parse_models(opt.models_arg);
     } else if (a == "--metrics") {
       opt.metrics = next();
-      LRDIP_CHECK_MSG(opt.metrics == "json" || opt.metrics == "csv",
-                      "--metrics expects json or csv");
+      if (opt.metrics != "json" && opt.metrics != "csv") {
+        throw UsageError("--metrics expects json or csv");
+      }
     } else if (a == "--task") {
       opt.task = next();
     } else if (a == "--strategy") {
@@ -136,7 +151,7 @@ Options parse_options(int argc, char** argv, int from) {
     } else if (a == "--json") {
       opt.json = true;
     } else {
-      throw InvariantError("unknown option: " + a);
+      throw UsageError("unknown option: " + a);
     }
   }
   return opt;
@@ -192,14 +207,24 @@ std::string repro_line(const std::string& sub, const std::string& task, const st
 
 Task task_or_throw(const std::string& name) {
   const std::optional<Task> t = task_from_name(name);
-  if (!t) throw InvariantError("unknown task: " + name + " (tasks: " + task_name_list() + ")");
+  if (!t) throw UsageError("unknown task: " + name + " (tasks: " + task_name_list() + ")");
   return *t;
+}
+
+/// bind_instance flags missing/unusable certificate sections with
+/// InvariantError; at the CLI boundary that is the *input's* fault.
+BoundInstance bind_or_usage(Task t, const GraphFile& gf) {
+  try {
+    return bind_instance(t, gf);
+  } catch (const InvariantError& e) {
+    throw UsageError(e.what());
+  }
 }
 
 int run_task(const std::string& task, const std::string& path, const Options& opt) {
   const Task t = task_or_throw(task);
   const GraphFile gf = read_graph_file(path);
-  const BoundInstance bi = bind_instance(t, gf);
+  const BoundInstance bi = bind_or_usage(t, gf);
   Rng rng(opt.seed);
   MeteredSection metered(opt);
   const Runtime rt(Runtime::Config{{opt.c}});
@@ -227,7 +252,7 @@ int run_task(const std::string& task, const std::string& path, const Options& op
 
 int run_batch(const std::string& manifest_path, const Options& opt) {
   std::ifstream in(manifest_path);
-  LRDIP_CHECK_MSG(in.good(), "cannot open manifest: " + manifest_path);
+  if (!in.good()) throw UsageError("cannot open manifest: " + manifest_path);
   const std::filesystem::path base = std::filesystem::path(manifest_path).parent_path();
 
   // Parsed per-line work. The GraphFiles must be address-stable (the bound
@@ -240,13 +265,14 @@ int run_batch(const std::string& manifest_path, const Options& opt) {
     std::istringstream ls(line);
     std::string task_name, graph_path;
     if (!(ls >> task_name) || task_name[0] == '#') continue;
-    LRDIP_CHECK_MSG(static_cast<bool>(ls >> graph_path),
-                    "manifest line needs '<task> <graph-file>': " + line);
+    if (!(ls >> graph_path)) {
+      throw UsageError("manifest line needs '<task> <graph-file>': " + line);
+    }
     const Task t = task_or_throw(task_name);
     std::filesystem::path p(graph_path);
     if (p.is_relative()) p = base / p;
     files.push_back(std::make_unique<GraphFile>(read_graph_file(p.string())));
-    bound.push_back(bind_instance(t, *files.back()));
+    bound.push_back(bind_or_usage(t, *files.back()));
     names.push_back(task_name);
   }
   std::vector<BatchItem> items;
@@ -277,7 +303,7 @@ int run_batch(const std::string& manifest_path, const Options& opt) {
 int run_faults(const std::string& task, const std::string& path, const Options& opt) {
   const Task t = task_or_throw(task);
   const GraphFile gf = read_graph_file(path);
-  const BoundInstance bi = bind_instance(t, gf);
+  const BoundInstance bi = bind_or_usage(t, gf);
   Rng rng(opt.seed);
   MeteredSection metered(opt);
   const Runtime rt(Runtime::Config{{opt.c}});
@@ -314,11 +340,13 @@ int run_faults(const std::string& task, const std::string& path, const Options& 
 }
 
 int run_soundness(const Options& opt) {
-  LRDIP_CHECK_MSG(!opt.task.empty(), "soundness requires --task <name>");
+  if (opt.task.empty()) throw UsageError("soundness requires --task <name>");
   const Task t = task_or_throw(opt.task);
   const auto strat = adversary::strategy_from_name(opt.strategy);
-  LRDIP_CHECK_MSG(strat.has_value(), "unknown strategy: " + opt.strategy +
-                                         " (strategies: replay greedy seeded-random)");
+  if (!strat.has_value()) {
+    throw UsageError("unknown strategy: " + opt.strategy +
+                     " (strategies: replay greedy seeded-random)");
+  }
   const Runtime rt(Runtime::Config{{opt.c}});
   adversary::SoundnessEstimator::Options eopt;
   // --trials defaults to 1 for the verification subcommands; a 1-draw
@@ -422,6 +450,15 @@ int main(int argc, char** argv) {
     std::cerr << "repro:";
     for (int i = 0; i < argc; ++i) std::cerr << " " << argv[i];
     std::cerr << "\n";
-    return 2;
+    // The exit-code contract from the header comment: the caller's fault is
+    // 2 (usage, unparsable numbers, graph files that do not parse), the
+    // tool's fault is 3.
+    if (dynamic_cast<const UsageError*>(&ex) != nullptr ||
+        dynamic_cast<const GraphParseError*>(&ex) != nullptr ||
+        dynamic_cast<const std::invalid_argument*>(&ex) != nullptr ||
+        dynamic_cast<const std::out_of_range*>(&ex) != nullptr) {
+      return 2;
+    }
+    return 3;
   }
 }

@@ -1,0 +1,21 @@
+#include "dip/cancel.hpp"
+
+namespace lrdip {
+namespace detail {
+namespace {
+thread_local const CancelToken* tl_cancel_token = nullptr;
+}  // namespace
+
+const CancelToken* current_cancel_token() { return tl_cancel_token; }
+void set_current_cancel_token(const CancelToken* token) { tl_cancel_token = token; }
+
+}  // namespace detail
+
+void throw_if_cancelled() {
+  const CancelToken* t = detail::current_cancel_token();
+  if (t != nullptr && t->expired()) {
+    throw CancelledError(t->cancel_requested() ? "execution cancelled" : "deadline exceeded");
+  }
+}
+
+}  // namespace lrdip

@@ -1,0 +1,108 @@
+// Cooperative cancellation for long-running verification work.
+//
+// A CancelToken carries the two ways a service can take time back from an
+// execution: an absolute steady-clock deadline and an explicit cancel flag.
+// Protocol code never polls the token itself — the parallel engine checks the
+// calling thread's installed token at chunk boundaries (dip/parallel.cpp), so
+// every per-node loop of every protocol becomes a cancellation checkpoint for
+// free, and Runtime::run_batch_isolated checks between items. When a
+// checkpoint observes an expired token it throws CancelledError, which the
+// isolated batch path converts into a typed per-item status instead of a
+// crash.
+//
+// Granularity caveat: cancellation is cooperative. A single chunk body runs
+// to completion once started, so the observable latency of a cancel is one
+// chunk of per-node work — microseconds on honest instances. Code that wedges
+// *inside* a chunk is the service watchdog's problem, not the token's.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace lrdip {
+
+/// Thrown by cancellation checkpoints when the installed token is expired.
+/// Derives from runtime_error, not InvariantError: being cancelled is an
+/// expected operational outcome, never a library-contract violation.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const char* what) : std::runtime_error(what) {}
+};
+
+/// Deadline + cancel flag. Thread-safe: any thread may cancel() or query
+/// expired() while workers poll it. The deadline is an absolute steady-clock
+/// nanosecond count so polling costs one clock read + one relaxed load.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Absolute deadline `ms` milliseconds from now, for set_deadline_ns
+  /// (atomic members make the class non-movable, so no by-value factory).
+  static std::int64_t deadline_after_ms(std::int64_t ms) {
+    return steady_now_ns() + ms * 1'000'000;
+  }
+
+  static std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Absolute steady-clock deadline in ns; 0 means "no deadline".
+  void set_deadline_ns(std::int64_t ns) { deadline_ns_.store(ns, std::memory_order_relaxed); }
+  std::int64_t deadline_ns() const { return deadline_ns_.load(std::memory_order_relaxed); }
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && steady_now_ns() >= d;
+  }
+
+  /// Remaining budget in ns; <= 0 when expired, INT64_MAX with no deadline.
+  std::int64_t remaining_ns() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return INT64_MAX;
+    return d - steady_now_ns();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+namespace detail {
+/// The token the calling thread's parallel regions poll; null when none.
+const CancelToken* current_cancel_token();
+void set_current_cancel_token(const CancelToken* token);
+}  // namespace detail
+
+/// Installs `token` as the calling thread's cancellation context for the
+/// scope's lifetime (null is fine: it uninstalls). Parallel-engine chunk
+/// boundaries on this thread — and on pool workers serving its regions —
+/// poll it; see dip/parallel.cpp.
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(const CancelToken* token)
+      : prev_(detail::current_cancel_token()) {
+    detail::set_current_cancel_token(token);
+  }
+  ~ScopedCancelToken() { detail::set_current_cancel_token(prev_); }
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  const CancelToken* prev_;
+};
+
+/// Checkpoint: throws CancelledError when the installed token is expired.
+/// Cheap enough for per-stage use; per-chunk use is the engine's job.
+void throw_if_cancelled();
+
+}  // namespace lrdip

@@ -1,6 +1,8 @@
 #include "dip/parallel.hpp"
 
 #include <algorithm>
+
+#include "dip/cancel.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -32,6 +34,10 @@ int default_threads() {
 // itself never depends on the thread count.
 struct Job {
   const detail::RangeBody* body = nullptr;
+  // The calling thread's cancellation token, captured at dispatch so pool
+  // workers poll the same deadline the caller is bound by. Checked between
+  // chunks (a claimed chunk always runs to completion).
+  const CancelToken* cancel = nullptr;
   std::int64_t n = 0;
   std::int64_t grain = 1;
   std::int64_t chunks = 0;
@@ -53,9 +59,21 @@ struct Job {
   void run_chunks() {
     const bool timed = busy_ns != nullptr;
     const std::int64_t t0 = timed ? obs::now_ns() : 0;
+    // Workers adopt the caller's token for the duration of their chunk work
+    // so nested inline regions inside the body hit checkpoints too.
+    ScopedCancelToken adopt(cancel);
     while (true) {
       const std::int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= chunks) break;
+      if (cancel != nullptr && cancel->expired()) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (error_chunk == -1 || chunk < error_chunk) {
+          error_chunk = chunk;
+          error = std::make_exception_ptr(CancelledError(
+              cancel->cancel_requested() ? "execution cancelled" : "deadline exceeded"));
+        }
+        break;
+      }
       const std::int64_t begin = bounds != nullptr ? bounds[chunk] : chunk * grain;
       const std::int64_t end =
           bounds != nullptr ? bounds[chunk + 1] : (begin + grain < n ? begin + grain : n);
@@ -178,6 +196,7 @@ namespace {
 /// chunks >= 2, and the caller wants real parallelism.
 void dispatch_job(Job& job, int threads, const detail::RangeBody& body) {
   job.body = &body;
+  job.cancel = detail::current_cancel_token();
   const int helpers = static_cast<int>(std::min<std::int64_t>(threads - 1, job.chunks - 1));
   const bool timed = obs::metrics_enabled();
   std::vector<std::int64_t> busy;
@@ -203,6 +222,9 @@ void dispatch_job(Job& job, int threads, const detail::RangeBody& body) {
 /// Inline fallbacks shared by both entry points. Returns true when the loop
 /// already ran (nested region, single thread, or a single chunk).
 bool ran_inline(std::int64_t n, std::int64_t chunks, int threads, const detail::RangeBody& body) {
+  // Every region entry is a cancellation checkpoint, so even fully inline
+  // execution (one thread, nested regions) observes deadlines between loops.
+  throw_if_cancelled();
   // Nested regions run inline on their worker; their time is already inside
   // the outer region's busy slots, so they are never metered separately.
   if (tl_in_parallel_region) {

@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "dip/cancel.hpp"
 #include "dip/store.hpp"
 #include "protocols/registry.hpp"
 #include "support/rng.hpp"
@@ -44,11 +46,29 @@ class FaultInjector;
 /// FaultInjector or a strategic prover from src/adversary). Adversaries are
 /// stateful per run, so every item must carry its OWN object — items sharing
 /// one pointer would race across batch workers and break the determinism
-/// contract.
+/// contract. `cancel`, when non-null, is installed for the item's execution:
+/// parallel-engine chunk boundaries poll it, and an expired token aborts the
+/// item with CancelledError (run_batch lets it propagate; the isolated path
+/// classifies it per item).
 struct BatchItem {
   Instance inst;
   std::uint64_t seed = 1;
   FaultInjector* faults = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
+/// How one item of run_batch_isolated ended. Items are independent: one
+/// cancelled or faulting item never disturbs its batch-mates.
+enum class ItemStatus : std::uint8_t {
+  ok = 0,        ///< outcome holds a real verdict (accept or reject)
+  cancelled,     ///< the item's CancelToken expired (deadline or cancel())
+  error,         ///< an exception escaped the execution; `error` has what()
+};
+
+struct ItemResult {
+  Outcome outcome;  // meaningful only when status == ok
+  ItemStatus status = ItemStatus::ok;
+  std::string error;
 };
 
 /// The per-coin-seed replication axis: K executions of one instance that
@@ -82,7 +102,16 @@ class Runtime {
 
   /// Executes every item and returns Outcomes in item order. Bit-identical to
   /// the sequential per-item loop at any thread count (see file comment).
+  /// Exceptions (including CancelledError from an item token) propagate.
   std::vector<Outcome> run_batch(std::span<const BatchItem> items) const;
+
+  /// The service-grade batch path: same scheduling and bit-identical verdicts
+  /// as run_batch, but NOTHING escapes. Each item's cancellation or failure
+  /// is classified into its own ItemResult — one malformed or deadline-busted
+  /// item never takes down the batch. (InvariantError from a defective
+  /// instance surfaces as ItemStatus::error; transcript defects were already
+  /// verdicts, not exceptions, by the PR 2 contract.)
+  std::vector<ItemResult> run_batch_isolated(std::span<const BatchItem> items) const;
 
  private:
   Config cfg_;

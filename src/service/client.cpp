@@ -1,0 +1,146 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "support/digest.hpp"
+
+namespace lrdip::service {
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic jitter in [0, spread): hash of (request, attempt), so two
+/// clients retrying the same instant fan out without shared randomness.
+std::uint32_t jitter_ms(std::uint64_t request_id, int attempt, std::uint32_t spread) {
+  if (spread == 0) return 0;
+  const std::uint64_t h = fnv1a_word(fnv1a_word(kFnvOffsetBasis, request_id),
+                                     static_cast<std::uint64_t>(attempt));
+  return static_cast<std::uint32_t>(h % spread);
+}
+
+}  // namespace
+
+bool Client::connect() {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + cfg_.socket_path;
+    close();
+    return false;
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = "connect " + cfg_.socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send_raw(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0 && !connect()) return false;
+  if (write_frame(fd_, payload) != FrameIo::ok) {
+    error_ = "write failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_reply(Response* out) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  std::vector<std::uint8_t> payload;
+  const FrameIo io = read_frame(fd_, cfg_.max_frame_bytes, &payload);
+  if (io != FrameIo::ok) {
+    error_ = io == FrameIo::eof ? "connection closed" : "read failed";
+    close();
+    return false;
+  }
+  if (!decode_response(payload, out)) {
+    error_ = "undecodable reply";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::call_once(const Request& req, Response* out) {
+  if (fd_ < 0 && !connect()) return false;
+  return send_raw(encode_request(req)) && read_reply(out);
+}
+
+bool Client::call(const Request& req, Response* out) {
+  const std::int64_t start = now_ms();
+  bool have_typed = false;
+  Response last_typed;
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    Response resp;
+    const bool transported = call_once(req, &resp);
+    if (transported && !is_retryable(resp.status)) {
+      *out = resp;
+      return true;
+    }
+    if (transported) {
+      have_typed = true;
+      last_typed = resp;
+    }
+    // Transient: server backpressure, or the connection died before a reply
+    // (draining server, connection cap). Back off and resend.
+    std::uint32_t wait = std::min(cfg_.max_backoff_ms, cfg_.base_backoff_ms << attempt);
+    if (transported && resp.retry_after_ms > wait) wait = resp.retry_after_ms;
+    wait += jitter_ms(req.request_id, attempt, cfg_.base_backoff_ms + 1);
+    if (req.deadline_ms > 0) {
+      const std::int64_t elapsed = now_ms() - start;
+      if (elapsed + wait >= req.deadline_ms) {
+        // Too late for another round trip: answer the deadline locally
+        // instead of handing the caller a success it can no longer use.
+        Response late;
+        late.request_id = req.request_id;
+        late.status = ServiceStatus::deadline_exceeded;
+        late.text = "client-side: deadline would pass during backoff";
+        *out = late;
+        return true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+  if (have_typed) {
+    // Exhausted retries against sustained backpressure: the last typed shed
+    // response IS the answer — the caller sees quota_exceeded/overloaded,
+    // never a silent drop.
+    *out = last_typed;
+    return true;
+  }
+  error_ = "retries exhausted: " + error_;
+  return false;
+}
+
+}  // namespace lrdip::service

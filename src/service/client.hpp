@@ -1,0 +1,68 @@
+// Synchronous lrdipd client with deadline-aware retry.
+//
+// One Client owns one connection and keeps at most one request outstanding —
+// concurrency is the caller's job (the load generator runs a pool of these).
+// call() hides the two transient failure shapes a well-behaved client must
+// absorb:
+//   * typed backpressure (quota_exceeded / overloaded): sleep for the
+//     server's retry_after_ms hint plus jittered exponential backoff, then
+//     resend;
+//   * connection loss before any reply (server draining, connection cap):
+//     reconnect and resend.
+// Retrying stops once the request's own deadline_ms could no longer be met —
+// a deadline-bound caller gets a deadline_exceeded answer synthesized
+// locally rather than a late success.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace lrdip::service {
+
+struct ClientConfig {
+  std::string socket_path;
+  int max_attempts = 6;
+  std::uint32_t base_backoff_ms = 4;
+  std::uint32_t max_backoff_ms = 400;
+  std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig cfg) : cfg_(std::move(cfg)) {}
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Full round trip with retry/backoff (see file comment). Returns false
+  /// only on unrecoverable transport failure (error() has the reason);
+  /// every service-level failure comes back as a typed Response.
+  bool call(const Request& req, Response* out);
+
+  /// One shot, no retry: send the request and read a single reply.
+  bool call_once(const Request& req, Response* out);
+
+  /// Chaos hook: ship an arbitrary payload as one frame, no protocol checks.
+  bool send_raw(std::span<const std::uint8_t> payload);
+  /// Chaos hook: read and decode one reply frame.
+  bool read_reply(Response* out);
+  /// Chaos hook: the raw descriptor, for hand-crafted (torn/lying) frames.
+  int fd() const { return fd_; }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  ClientConfig cfg_;
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace lrdip::service

@@ -1,0 +1,262 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lrdip::service {
+namespace {
+
+/// Append-only little-endian writer.
+struct Writer {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+};
+
+/// Bounds-checked little-endian cursor: every read either succeeds or trips
+/// the sticky `bad` flag and returns zero — adversarial payloads cannot make
+/// it read out of range.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool bad = false;
+
+  bool need(std::size_t k) {
+    if (bad || data.size() - pos < k) {
+      bad = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+  std::string bytes() {
+    const std::uint32_t len = u32();
+    if (!need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), len);
+    pos += len;
+    return s;
+  }
+  /// Decode is strict: trailing bytes are as malformed as missing ones.
+  bool done() const { return !bad && pos == data.size(); }
+};
+
+}  // namespace
+
+const char* service_status_name(ServiceStatus s) {
+  switch (s) {
+    case ServiceStatus::ok: return "ok";
+    case ServiceStatus::malformed_frame: return "malformed_frame";
+    case ServiceStatus::bad_request: return "bad_request";
+    case ServiceStatus::too_large: return "too_large";
+    case ServiceStatus::quota_exceeded: return "quota_exceeded";
+    case ServiceStatus::overloaded: return "overloaded";
+    case ServiceStatus::deadline_exceeded: return "deadline_exceeded";
+    case ServiceStatus::shutting_down: return "shutting_down";
+    case ServiceStatus::internal_error: return "internal_error";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(req.type));
+  w.u8(kProtocolVersion);
+  w.u64(req.request_id);
+  if (req.type == MsgType::statsz) return std::move(w.buf);
+  if (req.type == MsgType::sleep_ms) {
+    w.u32(req.sleep_ms);
+    return std::move(w.buf);
+  }
+  w.u32(req.tenant);
+  w.u8(req.task);
+  w.u8(static_cast<std::uint8_t>(req.body));
+  w.u32(req.deadline_ms);
+  w.u64(req.seed);
+  w.u8(req.c);
+  if (req.body == BodyKind::inline_graph) {
+    w.bytes(req.graph_text);
+  } else {
+    w.u32(req.n);
+    w.u64(req.gen_seed);
+  }
+  return std::move(w.buf);
+}
+
+bool decode_request(std::span<const std::uint8_t> payload, Request* out) {
+  Reader r{payload};
+  Request req;
+  req.type = static_cast<MsgType>(r.u8());
+  if (r.u8() != kProtocolVersion) return false;
+  req.request_id = r.u64();
+  switch (req.type) {
+    case MsgType::statsz:
+      break;
+    case MsgType::sleep_ms:
+      req.sleep_ms = r.u32();
+      break;
+    case MsgType::verify: {
+      req.tenant = r.u32();
+      req.task = r.u8();
+      const std::uint8_t body = r.u8();
+      if (body > static_cast<std::uint8_t>(BodyKind::inline_graph)) return false;
+      req.body = static_cast<BodyKind>(body);
+      req.deadline_ms = r.u32();
+      req.seed = r.u64();
+      req.c = r.u8();
+      if (req.body == BodyKind::inline_graph) {
+        req.graph_text = r.bytes();
+      } else {
+        req.n = r.u32();
+        req.gen_seed = r.u64();
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  if (!r.done()) return false;
+  *out = std::move(req);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::reply));
+  w.u8(kProtocolVersion);
+  w.u64(resp.request_id);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.u32(resp.retry_after_ms);
+  w.u8(resp.accepted ? 1 : 0);
+  w.u8(resp.reject_reason);
+  w.u32(resp.rejected_nodes);
+  w.u32(resp.rounds);
+  w.u32(resp.proof_size_bits);
+  w.u64(resp.total_label_bits);
+  w.u32(resp.max_coin_bits);
+  w.u64(resp.outcome_digest);
+  w.bytes(resp.text);
+  return std::move(w.buf);
+}
+
+bool decode_response(std::span<const std::uint8_t> payload, Response* out) {
+  Reader r{payload};
+  if (r.u8() != static_cast<std::uint8_t>(MsgType::reply)) return false;
+  if (r.u8() != kProtocolVersion) return false;
+  Response resp;
+  resp.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status >= kNumServiceStatuses) return false;
+  resp.status = static_cast<ServiceStatus>(status);
+  resp.retry_after_ms = r.u32();
+  resp.accepted = r.u8() != 0;
+  resp.reject_reason = r.u8();
+  resp.rejected_nodes = r.u32();
+  resp.rounds = r.u32();
+  resp.proof_size_bits = r.u32();
+  resp.total_label_bits = r.u64();
+  resp.max_coin_bits = r.u32();
+  resp.outcome_digest = r.u64();
+  resp.text = r.bytes();
+  if (!r.done()) return false;
+  *out = std::move(resp);
+  return true;
+}
+
+namespace {
+
+bool read_all(int fd, std::uint8_t* dst, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t k = ::read(fd, dst + got, len - got);
+    if (k == 0) return false;
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* src, std::size_t len) {
+  std::size_t put = 0;
+  while (put < len) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as an
+    // EPIPE return, never as a process-killing SIGPIPE. Plain write() is the
+    // fallback for non-socket fds (tests over pipes).
+    ssize_t k = ::send(fd, src + put, len - put, MSG_NOSIGNAL);
+    if (k < 0 && errno == ENOTSOCK) k = ::write(fd, src + put, len - put);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameIo read_frame(int fd, std::uint64_t max_payload_bytes, std::vector<std::uint8_t>* out,
+                   std::uint64_t* oversize) {
+  std::uint8_t hdr[4];
+  // A clean EOF is only clean on the frame boundary, i.e. before any header
+  // byte arrives.
+  ssize_t first = -1;
+  do {
+    first = ::read(fd, hdr, 1);
+  } while (first < 0 && errno == EINTR);
+  if (first == 0) return FrameIo::eof;
+  if (first < 0) return FrameIo::io_error;
+  if (!read_all(fd, hdr + 1, 3)) return FrameIo::io_error;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+  if (len > max_payload_bytes) {
+    if (oversize != nullptr) *oversize = len;
+    return FrameIo::too_large;
+  }
+  out->resize(len);
+  if (len > 0 && !read_all(fd, out->data(), len)) return FrameIo::io_error;
+  return FrameIo::ok;
+}
+
+FrameIo write_frame(int fd, std::span<const std::uint8_t> payload) {
+  std::uint8_t hdr[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  if (!write_all(fd, hdr, 4)) return FrameIo::io_error;
+  if (!payload.empty() && !write_all(fd, payload.data(), payload.size())) {
+    return FrameIo::io_error;
+  }
+  return FrameIo::ok;
+}
+
+}  // namespace lrdip::service

@@ -1,0 +1,154 @@
+// lrdipd wire protocol: length-prefixed binary frames.
+//
+// Transport is a byte stream (a unix-domain socket); every message is one
+// frame: a little-endian u32 payload length followed by that many payload
+// bytes. The payload encodings below are flat little-endian field sequences
+// decoded by a bounds-checked cursor — the PR 2 "never throw on adversarial
+// bytes" discipline applied to the socket: a malformed payload decodes to
+// `false`, never to UB or an exception, and the server answers it with a
+// typed ServiceStatus instead of dropping the connection.
+//
+// A verification request names its instance one of two ways:
+//   * genspec — (task, n, gen_seed) run through the registry's make_yes /
+//     make_near_no generators server-side. Cheap to ship, and the client can
+//     recompute the expected outcome digest locally, which is how the load
+//     generator proves service answers are bit-identical to the one-shot
+//     CLI path;
+//   * inline — a graph/io.hpp text file carried in the frame and parsed
+//     under the server's GraphReadLimits.
+//
+// Responses echo the client-chosen request_id, so one connection may carry
+// overlapping requests (the server replies in completion order).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dip/store.hpp"
+#include "support/digest.hpp"
+
+namespace lrdip::service {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Frame payload ceiling a server accepts by default (the length prefix is
+/// adversarial input; anything above the configured ceiling is shed as
+/// too_large without being buffered).
+inline constexpr std::uint64_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Message types (first payload byte).
+enum class MsgType : std::uint8_t {
+  verify = 1,  ///< run one verification task
+  statsz = 2,  ///< return the service stats JSON (the /statsz page)
+  sleep_ms = 3,  ///< test hook: occupy a worker (honored only when enabled)
+  reply = 0x81,  ///< server -> client response
+};
+
+/// The service error taxonomy. Everything a client can observe is one of
+/// these — a crash or a silent drop is a service bug by contract (the chaos
+/// soak in CI enforces exactly that).
+enum class ServiceStatus : std::uint8_t {
+  ok = 0,             ///< outcome fields hold a real verdict
+  malformed_frame,    ///< payload did not decode
+  bad_request,        ///< decoded but unusable (unknown task, parse error, ...)
+  too_large,          ///< frame or instance over the server's limits
+  quota_exceeded,     ///< per-tenant token bucket empty; retry_after_ms set
+  overloaded,         ///< admission queue full; retry_after_ms set
+  deadline_exceeded,  ///< deadline passed while queued or mid-execution
+  shutting_down,      ///< server is draining; request was not admitted
+  internal_error,     ///< exception escaped an execution (isolated per item)
+};
+inline constexpr int kNumServiceStatuses = 9;
+
+const char* service_status_name(ServiceStatus s);
+
+/// True for the statuses a client may retry after backing off.
+inline constexpr bool is_retryable(ServiceStatus s) {
+  return s == ServiceStatus::quota_exceeded || s == ServiceStatus::overloaded;
+}
+
+/// How a verify request names its instance.
+enum class BodyKind : std::uint8_t {
+  genspec_yes = 0,   ///< registry make_yes(n, Rng(gen_seed))
+  genspec_near_no,   ///< registry make_near_no(n, Rng(gen_seed))
+  inline_graph,      ///< graph/io.hpp text in `graph_text`
+};
+
+struct Request {
+  MsgType type = MsgType::verify;
+  std::uint64_t request_id = 0;
+  std::uint32_t tenant = 0;
+  std::uint8_t task = 0;      // registry Task index
+  BodyKind body = BodyKind::genspec_yes;
+  std::uint32_t deadline_ms = 0;  // 0 = no deadline
+  std::uint64_t seed = 1;         // verifier coin seed
+  std::uint8_t c = 3;             // soundness exponent
+  // genspec body:
+  std::uint32_t n = 0;
+  std::uint64_t gen_seed = 1;
+  // inline body:
+  std::string graph_text;
+  // sleep_ms body:
+  std::uint32_t sleep_ms = 0;
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  ServiceStatus status = ServiceStatus::internal_error;
+  std::uint32_t retry_after_ms = 0;
+  // Verdict (status == ok):
+  bool accepted = false;
+  std::uint8_t reject_reason = 0;
+  std::uint32_t rejected_nodes = 0;
+  std::uint32_t rounds = 0;
+  std::uint32_t proof_size_bits = 0;
+  std::uint64_t total_label_bits = 0;
+  std::uint32_t max_coin_bits = 0;
+  std::uint64_t outcome_digest = 0;
+  // Error message (typed errors) or stats JSON (statsz replies).
+  std::string text;
+};
+
+std::vector<std::uint8_t> encode_request(const Request& req);
+std::vector<std::uint8_t> encode_response(const Response& resp);
+/// Bounds-checked decode; false on any truncation, trailing garbage, or
+/// out-of-range enum. Never throws.
+bool decode_request(std::span<const std::uint8_t> payload, Request* out);
+bool decode_response(std::span<const std::uint8_t> payload, Response* out);
+
+/// FNV-1a fingerprint of a full Outcome — the cross-process equality check
+/// between a service answer and a local Runtime run of the same
+/// (instance, seed, c).
+inline std::uint64_t outcome_digest(const Outcome& o) {
+  std::uint64_t d = kFnvOffsetBasis;
+  d = fnv1a_word(d, o.accepted ? 1 : 0);
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.rounds));
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.proof_size_bits));
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.total_label_bits));
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.max_coin_bits));
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.reject_reason));
+  d = fnv1a_word(d, static_cast<std::uint64_t>(o.rejected_nodes));
+  return d;
+}
+
+// --- frame transport over a file descriptor --------------------------------
+
+enum class FrameIo : std::uint8_t {
+  ok = 0,
+  eof,        ///< peer closed cleanly between frames
+  too_large,  ///< declared length exceeds the ceiling (nothing buffered)
+  io_error,   ///< read/write syscall failure or mid-frame EOF
+};
+
+/// Blocking full-frame read. On too_large the declared length is left in
+/// *oversize (the connection is no longer framed and must be closed).
+FrameIo read_frame(int fd, std::uint64_t max_payload_bytes, std::vector<std::uint8_t>* out,
+                   std::uint64_t* oversize = nullptr);
+/// Blocking full-frame write (length prefix + payload). Thread-unsafe per
+/// fd; callers serialize with their connection's write lock.
+FrameIo write_frame(int fd, std::span<const std::uint8_t> payload);
+
+}  // namespace lrdip::service

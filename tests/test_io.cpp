@@ -94,5 +94,128 @@ TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(read_graph_file("/tmp/definitely/not/here.graph"), InvariantError);
 }
 
+// --- checked reader: adversarial input comes back classified, never thrown --
+
+GraphReadResult checked(const std::string& text, const GraphReadLimits& limits = {}) {
+  std::stringstream ss(text);
+  return read_graph_checked(ss, limits);
+}
+
+TEST(GraphIoChecked, ValidInputHasNoError) {
+  const GraphReadResult r = checked("graph 3 2\ne 0 1\ne 1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_EQ(r.line, 0);
+  EXPECT_EQ(r.file->graph.n(), 3);
+}
+
+TEST(GraphIoChecked, TruncatedInputsClassify) {
+  for (const char* text : {
+           "",                     // empty
+           "graph 5",              // header cut mid-line
+           "graph 3 3\ne 0 1\n",   // fewer edges than declared
+           "graph 3 2\ne 0",       // edge cut mid-line
+           "graph 2 1\ne 0 1\norder 0\n",  // short order
+       }) {
+    const GraphReadResult r = checked(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_FALSE(r.error.empty()) << text;
+  }
+}
+
+TEST(GraphIoChecked, CorruptTokensClassifyWithLineNumber) {
+  const GraphReadResult r = checked("graph 3 2\ne 0 1\ne one two\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.line, 3);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+}
+
+TEST(GraphIoChecked, RangeDefectInFinalTokenIsCaught) {
+  // Regression: the defective value being the LAST token of the line (where
+  // extraction also sets eofbit) must not be silently dropped.
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\norder 0 1 99").ok());
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\ntails 0 7").ok());
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\nrotation\nr 0 0\nr 1 0 1\nr 2 9").ok());
+}
+
+TEST(GraphIoChecked, IntegerOverflowClassifies) {
+  EXPECT_FALSE(checked("graph 99999999999999999999 1\ne 0 1\n").ok());
+  EXPECT_FALSE(checked("graph 3 2\ne 0 99999999999999999999\ne 1 2\n").ok());
+}
+
+TEST(GraphIoChecked, HeaderBoundsEnforcedBeforeAllocation) {
+  // A header declaring 2^30 nodes is an error, not an attempted allocation.
+  GraphReadLimits limits;
+  limits.max_nodes = 100;
+  limits.max_edges = 50;
+  EXPECT_FALSE(checked("graph 1073741824 0\n", limits).ok());
+  EXPECT_FALSE(checked("graph 101 0\n", limits).ok());
+  EXPECT_FALSE(checked("graph 10 51\n", limits).ok());
+  EXPECT_TRUE(checked("graph 100 0\n", limits).ok());
+}
+
+TEST(GraphIoChecked, LineAndTotalByteLimits) {
+  GraphReadLimits limits;
+  limits.max_line_bytes = 16;
+  {
+    const GraphReadResult r = checked("graph 2 1\ne 0 1   # a very long trailing comment\n",
+                                      limits);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("bytes"), std::string::npos) << r.error;
+  }
+  limits = GraphReadLimits{};
+  limits.max_total_bytes = 20;
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\n", limits).ok());
+}
+
+TEST(GraphIoChecked, RotationDefectsClassify) {
+  // Duplicate row, row for every node missing, non-incident edge, and a
+  // defect in the final rotation token all classify (the last one used to be
+  // RotationSystem's InvariantError; the checked reader converts it).
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\nrotation\nr 0 0\nr 0 0\n").ok());
+  EXPECT_FALSE(checked("graph 3 2\ne 0 1\ne 1 2\nrotation\nr 0 0\n").ok());
+  const GraphReadResult r =
+      checked("graph 3 2\ne 0 1\ne 1 2\nrotation\nr 0 1\nr 1 0 1\nr 2 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("rotation"), std::string::npos) << r.error;
+}
+
+TEST(GraphIoChecked, NeverThrowsOnGarbage) {
+  // A sweep of adversarial shapes: the checked reader's contract is that no
+  // input reaches a throw path.
+  for (const char* text : {
+           "\x01\x02\x03\xff garbage bytes",
+           "graph -3 2\ne 0 1\n",
+           "graph 3 -2\n",
+           "e 0 1\ngraph 3 2\n",
+           "graph 3 2\ne 0 1\ne 1 2\ngraph 3 2\n",
+           "graph 3 2\ne 0 1\ne 1 2\nr 0 1\n",
+           "graph 3 2\ne 0 1\ne 1 2\norder 0 1 2 0\n",
+           "graph 2 1\ne 0 0\n",
+       }) {
+    GraphReadResult r;
+    EXPECT_NO_THROW(r = checked(text)) << text;
+    EXPECT_FALSE(r.ok()) << text;
+  }
+  // And the empty graph, which IS valid.
+  EXPECT_TRUE(checked("graph 0 0\n").ok());
+}
+
+TEST(GraphIoChecked, MissingFileClassifies) {
+  const GraphReadResult r = read_graph_file_checked("/tmp/definitely/not/here.graph");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(GraphIoChecked, ThrowingWrapperThrowsGraphParseError) {
+  std::stringstream ss("graph 2 1\ne 0 5\n");
+  try {
+    read_graph(ss);
+    FAIL() << "expected GraphParseError";
+  } catch (const GraphParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace lrdip
