@@ -7,7 +7,16 @@
 //         [--models m1,m2,...] [--seed S] [--c C] [--trials T]
 //   lrdip soundness --task <name> [--strategy S] [--n N] [--trials T]
 //         [--seed S] [--c C] [--json]
+//   lrdip shard-gen <family> <n> <shards> <out-dir> [--seed S] [--cols C]
+//   lrdip shard-verify <manifest> [--coin-seed S] [--json] [--no-drop-behind]
 //   lrdip list-tasks
+//
+// shard-gen/shard-verify are the scale substrate (graph/shard.hpp): shard-gen
+// emits a directory of seed-deterministic CSR shards plus manifest.json
+// without ever materializing the instance, and shard-verify streams them
+// through the Runtime's sharded path with bounded resident memory. The
+// printed digest is bit-identical across shard counts of the same
+// (params, coin seed) — the property the CI scale gate pins.
 //
 // The task tokens, their certificate requirements, and the dispatch itself
 // all come from the protocol registry (protocols/registry.hpp) — the CLI adds
@@ -44,6 +53,7 @@
 #include "dip/parallel.hpp"
 #include "dip/runtime.hpp"
 #include "gen/generators.hpp"
+#include "gen/shard_gen.hpp"
 #include "graph/io.hpp"
 #include "obs/emit.hpp"
 #include "obs/metrics.hpp"
@@ -70,6 +80,8 @@ int usage() {
                "        [--models m1,m2,...] [--seed S] [--c C] [--trials T] [--metrics json|csv]\n"
                "  lrdip soundness --task <name> [--strategy replay|greedy|seeded-random]\n"
                "        [--n N] [--trials T (default 24)] [--seed S] [--c C] [--json]\n"
+               "  lrdip shard-gen <family> <n> <shards> <out-dir> [--seed S] [--cols C]\n"
+               "  lrdip shard-verify <manifest> [--coin-seed S] [--json] [--no-drop-behind]\n"
                "  lrdip list-tasks\n"
                "tasks:    "
             << task_name_list(" ")
@@ -98,6 +110,10 @@ struct Options {
   std::string strategy = "greedy";
   int n = 256;
   bool json = false;
+  // shard subcommands only:
+  std::uint64_t coin_seed = 1;
+  std::uint64_t cols = 0;
+  bool drop_behind = true;
 };
 
 std::uint32_t parse_models(const std::string& spec) {
@@ -150,6 +166,12 @@ Options parse_options(int argc, char** argv, int from) {
       opt.n = std::stoi(next());
     } else if (a == "--json") {
       opt.json = true;
+    } else if (a == "--coin-seed") {
+      opt.coin_seed = std::stoull(next());
+    } else if (a == "--cols") {
+      opt.cols = std::stoull(next());
+    } else if (a == "--no-drop-behind") {
+      opt.drop_behind = false;
     } else {
       throw UsageError("unknown option: " + a);
     }
@@ -409,6 +431,79 @@ int run_gen(const std::string& family, int n, const std::string& out, const Opti
   return 0;
 }
 
+int run_shard_gen(const std::string& family_name, const std::string& n_str,
+                  const std::string& shards_str, const std::string& dir, const Options& opt) {
+  const auto family = shard_family_from_name(family_name);
+  if (!family.has_value()) {
+    throw UsageError("unknown shard family: " + family_name +
+                     " (families: path-outerplanar grid)");
+  }
+  ShardParams params;
+  params.family = *family;
+  params.n = std::stoull(n_str);
+  params.seed = opt.seed;
+  params.cols = opt.cols;
+  const std::uint64_t count = std::stoull(shards_str);
+  const ShardLimits limits;
+  if (params.n == 0 || params.n > limits.max_nodes) {
+    throw UsageError("n out of range (max " + std::to_string(limits.max_nodes) + ")");
+  }
+  if (count == 0 || count > limits.max_shards || count > params.n) {
+    throw UsageError("shard count out of range");
+  }
+  // Parameter defects (grid n % cols, arc fraction) trip LRDIP_CHECK inside
+  // the emitters; at this boundary they are the caller's input.
+  ShardManifest manifest;
+  try {
+    manifest = emit_shards(params, static_cast<std::uint32_t>(count), dir);
+  } catch (const InvariantError& e) {
+    throw UsageError(e.what());
+  }
+  std::cout << "wrote " << family_name << " shards: n=" << params.n
+            << " m=" << manifest.total_halves / 2 << " shards=" << manifest.shard_count
+            << " seed=" << params.seed << " -> " << dir << "/manifest.json\n";
+  return 0;
+}
+
+int run_shard_verify(const std::string& manifest_arg, const Options& opt) {
+  std::filesystem::path mp(manifest_arg);
+  if (std::filesystem::is_directory(mp)) mp /= "manifest.json";
+
+  MeteredSection metered(opt);
+  const Runtime rt(Runtime::Config{{opt.c}});
+  ShardRunOptions sopt;
+  sopt.verify.coin_seed = opt.coin_seed;
+  sopt.verify.drop_behind = opt.drop_behind;
+  const ShardRunReport rep = rt.run_sharded(mp.string(), sopt);
+  metered.flush(std::cout);
+
+  char digest_hex[20];
+  std::snprintf(digest_hex, sizeof digest_hex, "0x%016llx",
+                static_cast<unsigned long long>(rep.digest));
+  if (opt.json) {
+    // One flat object on stdout: what the CI scale gate and bench_scale parse.
+    std::cout << "{\"accepted\": " << (rep.outcome.accepted ? "true" : "false")
+              << ", \"digest\": \"" << digest_hex << "\", \"n\": " << rep.n
+              << ", \"halves\": " << rep.halves << ", \"shards\": " << rep.shard_count
+              << ", \"coin_seed\": " << opt.coin_seed
+              << ", \"max_stack_depth\": " << rep.max_stack_depth
+              << ", \"peak_rss_kb\": " << rep.peak_rss_kb << ", \"reject_reason\": \""
+              << reject_reason_name(rep.outcome.reject_reason) << "\"}\n";
+  }
+  std::ostream& os = opt.json || !opt.metrics.empty() ? std::cerr : std::cout;
+  os << "shard-verify: " << (rep.outcome.accepted ? "ACCEPTED" : "REJECTED") << "  n=" << rep.n
+     << "  m=" << rep.halves / 2 << "  shards=" << rep.shard_count << "  digest=" << digest_hex
+     << "  max_stack_depth=" << rep.max_stack_depth << "  peak_rss_kb=" << rep.peak_rss_kb
+     << "\n";
+  if (!rep.outcome.accepted) {
+    os << "reject_reason=" << reject_reason_name(rep.outcome.reject_reason)
+       << "  rejected_rows=" << rep.outcome.rejected_nodes << "\n";
+    os << "repro: lrdip shard-verify " << manifest_arg << " --coin-seed " << opt.coin_seed
+       << "\n";
+  }
+  return rep.outcome.accepted ? 0 : 1;
+}
+
 int list_tasks() {
   for (const ProtocolSpec& spec : protocol_registry()) {
     std::cout << spec.name << "  (" << spec.theorem << ")";
@@ -443,6 +538,13 @@ int main(int argc, char** argv) {
     }
     if (cmd == "soundness") {
       return run_soundness(parse_options(argc, argv, 2));
+    }
+    if (cmd == "shard-gen") {
+      if (argc < 6) return usage();
+      return run_shard_gen(argv[2], argv[3], argv[4], argv[5], parse_options(argc, argv, 6));
+    }
+    if (cmd == "shard-verify") {
+      return run_shard_verify(argv[2], parse_options(argc, argv, 3));
     }
     return run_task(cmd, argv[2], parse_options(argc, argv, 3));
   } catch (const std::exception& ex) {

@@ -1,0 +1,150 @@
+#include "gen/shard_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace lrdip {
+
+ShardRange shard_range(std::uint64_t n, std::uint32_t count, std::uint32_t index) {
+  LRDIP_CHECK(count > 0 && index < count && n >= count);
+  // i*n/k boundaries: contiguous, tiling, and independent of which shard asks.
+  return {index * n / count, (index + 1) * n / count};
+}
+
+namespace {
+
+/// Keep/drop draw for the dyadic arc (k*2^l, (k+1)*2^l). One mix64 chain per
+/// candidate; depends only on (seed, level, k), never on shard boundaries.
+bool arc_kept(const ShardParams& params, int level, std::uint64_t k) {
+  const std::uint64_t h =
+      mix64(mix64(params.seed ^ 0x6a09'e667'f3bc'c908ULL) ^
+            (static_cast<std::uint64_t>(level) << 56) ^ k);
+  return h % params.arc_den < params.arc_num;
+}
+
+void path_outerplanar_row(const ShardParams& params, std::uint64_t pos,
+                          std::vector<std::uint32_t>& out) {
+  const std::uint64_t n = params.n;
+  // Left side first (ascending output): arcs (pos - 2^l, pos), then pos - 1.
+  for (int level = 63; level >= 1; --level) {
+    const std::uint64_t gap = std::uint64_t{1} << level;
+    if (gap >= n || pos < gap || pos % gap != 0) continue;
+    if (arc_kept(params, level, (pos >> level) - 1)) {
+      out.push_back(static_cast<std::uint32_t>(pos - gap));
+    }
+  }
+  if (pos > 0) out.push_back(static_cast<std::uint32_t>(pos - 1));
+  if (pos + 1 < n) out.push_back(static_cast<std::uint32_t>(pos + 1));
+  // Right side: pos + 1, then arcs (pos, pos + 2^l) ascending in gap.
+  for (int level = 1; level < 64; ++level) {
+    const std::uint64_t gap = std::uint64_t{1} << level;
+    if (gap >= n) break;
+    if (pos % gap != 0 || pos + gap > n - 1) continue;
+    if (arc_kept(params, level, pos >> level)) {
+      out.push_back(static_cast<std::uint32_t>(pos + gap));
+    }
+  }
+}
+
+void grid_row(const ShardParams& params, std::uint64_t pos, std::vector<std::uint32_t>& out) {
+  const std::uint64_t cols = grid_cols(params);
+  const std::uint64_t r = pos / cols, c = pos % cols;
+  if (r > 0) out.push_back(static_cast<std::uint32_t>(pos - cols));
+  if (c > 0) out.push_back(static_cast<std::uint32_t>(pos - 1));
+  if (c + 1 < cols) out.push_back(static_cast<std::uint32_t>(pos + 1));
+  if (pos + cols < params.n) out.push_back(static_cast<std::uint32_t>(pos + cols));
+}
+
+std::string shard_file_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%05u.lrs", index);
+  return buf;
+}
+
+}  // namespace
+
+void shard_row_neighbors(const ShardParams& params, std::uint64_t pos,
+                         std::vector<std::uint32_t>& out) {
+  out.clear();
+  LRDIP_CHECK(pos < params.n);
+  switch (params.family) {
+    case ShardFamily::path_outerplanar: path_outerplanar_row(params, pos, out); break;
+    case ShardFamily::grid: grid_row(params, pos, out); break;
+  }
+}
+
+std::uint32_t shard_cert_word(const ShardParams& params, const IdPermutation& perm,
+                              std::uint64_t pos) {
+  if (params.family != ShardFamily::path_outerplanar) return 0;
+  return static_cast<std::uint32_t>(perm.forward(pos));
+}
+
+ShardInfo emit_shard(const ShardParams& params, std::uint32_t index, std::uint32_t count,
+                     const std::string& dir) {
+  LRDIP_CHECK_MSG(params.n > 0, "empty instance");
+  if (params.family == ShardFamily::grid) {
+    LRDIP_CHECK_MSG(params.n % grid_cols(params) == 0, "grid: n must be a multiple of cols");
+  }
+  LRDIP_CHECK_MSG(params.arc_den > 0 && params.arc_num <= params.arc_den,
+                  "arc probability must be a fraction in [0, 1]");
+  const ShardRange range = shard_range(params.n, count, index);
+  const std::uint32_t cert_bytes =
+      params.family == ShardFamily::path_outerplanar ? 4u : 0u;
+  const std::string file = shard_file_name(index);
+  const std::string path = (std::filesystem::path(dir) / file).string();
+  ShardWriter writer(path, params, index, count, range.lo, range.hi, cert_bytes);
+  const IdPermutation perm(params.n, params.seed);
+  std::vector<std::uint32_t> row;
+  for (std::uint64_t pos = range.lo; pos < range.hi; ++pos) {
+    shard_row_neighbors(params, pos, row);
+    for (const std::uint32_t t : row) writer.add_target(t);
+    writer.end_row(shard_cert_word(params, perm, pos));
+  }
+  return writer.finish(file);
+}
+
+ShardManifest emit_shards(const ShardParams& params, std::uint32_t count, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  ShardManifest manifest;
+  manifest.params = params;
+  manifest.shard_count = count;
+  manifest.dir = dir;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardInfo info = emit_shard(params, i, count, dir);
+    manifest.total_halves += info.halves;
+    manifest.shards.push_back(std::move(info));
+  }
+  write_shard_manifest((std::filesystem::path(dir) / "manifest.json").string(), manifest);
+  return manifest;
+}
+
+GraphFile materialize_shard_family(const ShardParams& params) {
+  LRDIP_CHECK_MSG(params.n <= (std::uint64_t{1} << 22),
+                  "materialize_shard_family is a small-n reference path");
+  const IdPermutation perm(params.n, params.seed);
+  GraphFile gf;
+  gf.graph = Graph(static_cast<int>(params.n));
+  std::vector<std::uint32_t> row;
+  const bool permuted = params.family == ShardFamily::path_outerplanar;
+  for (std::uint64_t pos = 0; pos < params.n; ++pos) {
+    shard_row_neighbors(params, pos, row);
+    const std::uint64_t u = permuted ? perm.forward(pos) : pos;
+    for (const std::uint32_t t : row) {
+      if (t <= pos) continue;  // each undirected edge once, in sweep order
+      const std::uint64_t v = permuted ? perm.forward(t) : t;
+      gf.graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  if (params.family == ShardFamily::path_outerplanar) {
+    std::vector<NodeId> order(params.n);
+    for (std::uint64_t pos = 0; pos < params.n; ++pos) {
+      order[pos] = static_cast<NodeId>(perm.forward(pos));
+    }
+    gf.order = std::move(order);
+  }
+  return gf;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,67 @@
+// Communication-free shard emitters (KaGen-style chunked generation).
+//
+// Each ShardFamily defines its edge set as a pure function of ShardParams, so
+// ANY vertex range [lo, hi) of the committed order can be emitted by itself:
+// no worker ever holds the whole graph, and the bytes of shard (i, k) are
+// reproducible from (params, i, k) alone. Two families ship:
+//
+//  * path_outerplanar — the scale form of gen/generators.hpp's
+//    random_path_outerplanar: a Hamiltonian path over positions 0..n-1 whose
+//    node ids are shuffled by an O(1) Feistel permutation (the per-position
+//    certificate word is the id, i.e. the committed order), plus dyadic arcs
+//    (k*2^l, (k+1)*2^l) kept with probability arc_num/arc_den by a seed hash.
+//    Dyadic intervals form a laminar family, so the kept arcs are properly
+//    nested by construction and the instance is a path-outerplanar
+//    yes-instance at every n.
+//  * grid — the rows x cols grid in its natural vertex order (planar by
+//    construction); no certificate words.
+//
+// A position's full neighbor row costs O(log n) hash evaluations, so a shard
+// costs O((hi-lo) log n) time and O(hi-lo) memory — generation at n = 2^27
+// never materializes a Graph. materialize_shard_family() builds the
+// equivalent in-memory GraphFile for small n; tests pin shard emission to it
+// and to the registry protocols.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/shard.hpp"
+#include "support/permute.hpp"
+
+namespace lrdip {
+
+/// The vertex range of shard `index` of `count`: contiguous, tiling [0, n).
+struct ShardRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+ShardRange shard_range(std::uint64_t n, std::uint32_t count, std::uint32_t index);
+
+/// Appends position `pos`'s neighbor positions, strictly ascending, to `out`
+/// (which is cleared first). Deterministic in (params, pos).
+void shard_row_neighbors(const ShardParams& params, std::uint64_t pos,
+                         std::vector<std::uint32_t>& out);
+
+/// The certificate word of a position (path_outerplanar: the node id the
+/// committed order places there). Families without certificates return 0.
+std::uint32_t shard_cert_word(const ShardParams& params, const IdPermutation& perm,
+                              std::uint64_t pos);
+
+/// Emits shard (index, count) into `dir` as shard-NNNNN.lrs and returns its
+/// manifest row. Memory O(hi - lo); throws GraphParseError on I/O failure.
+ShardInfo emit_shard(const ShardParams& params, std::uint32_t index, std::uint32_t count,
+                     const std::string& dir);
+
+/// Emits every shard plus `dir`/manifest.json; returns the manifest.
+ShardManifest emit_shards(const ShardParams& params, std::uint32_t count, const std::string& dir);
+
+/// Reference path for tests and spot checks: the same instance as one
+/// in-memory GraphFile (graph + order certificate for path_outerplanar).
+/// Edge ids follow (position, target) order, matching a sequential sweep of
+/// the shards. Intended for small n only — it materializes everything the
+/// sharded substrate exists to avoid.
+GraphFile materialize_shard_family(const ShardParams& params);
+
+}  // namespace lrdip

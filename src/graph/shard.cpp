@@ -1,0 +1,661 @@
+#include "graph/shard.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/digest.hpp"
+
+namespace lrdip {
+
+const char* shard_family_name(ShardFamily f) {
+  switch (f) {
+    case ShardFamily::path_outerplanar: return "path-outerplanar";
+    case ShardFamily::grid: return "grid";
+  }
+  return "unknown";
+}
+
+std::optional<ShardFamily> shard_family_from_name(std::string_view name) {
+  for (int i = 0; i < kNumShardFamilies; ++i) {
+    const auto f = static_cast<ShardFamily>(i);
+    if (name == shard_family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t shard_params_fingerprint(const ShardParams& params) {
+  std::uint64_t d = kFnvOffsetBasis;
+  d = fnv1a_word(d, static_cast<std::uint64_t>(params.family));
+  d = fnv1a_word(d, params.n);
+  d = fnv1a_word(d, params.seed);
+  d = fnv1a_word(d, params.arc_num);
+  d = fnv1a_word(d, params.arc_den);
+  d = fnv1a_word(d, params.cols);
+  return d;
+}
+
+std::uint64_t grid_cols(const ShardParams& params) {
+  if (params.cols != 0) return params.cols;
+  auto c = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(params.n)));
+  while (c > 1 && params.n % c != 0) --c;  // largest divisor <= sqrt(n)
+  return c > 0 ? c : 1;
+}
+
+std::string ShardManifest::shard_path(const ShardInfo& info) const {
+  std::filesystem::path p(info.file);
+  if (p.is_relative() && !dir.empty()) p = std::filesystem::path(dir) / p;
+  return p.string();
+}
+
+// ------------------------------------------------------ minimal JSON reader
+//
+// The manifest schema is flat (one object, one array of flat objects), so a
+// strict subset parser — objects, arrays, strings, unsigned integers, bools —
+// is all that is needed, and it keeps the checked surface allocation-bounded:
+// the caller has already size-capped the input via ShardLimits.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool b = false;
+  std::uint64_t num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_->empty()) *error_ = "manifest JSON: " + what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool string_lit(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: return fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::string;
+      return string_lit(out.str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::boolean;
+      out.b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::boolean;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.kind = JsonValue::Kind::null;
+      pos_ += 4;
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      out.kind = JsonValue::Kind::number;
+      std::uint64_t v = 0;
+      std::size_t digits = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        const std::uint64_t d = static_cast<std::uint64_t>(text_[pos_] - '0');
+        if (v > (UINT64_MAX - d) / 10) return fail("number out of range");
+        v = v * 10 + d;
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return fail("bad number");
+      out.num = v;
+      return true;
+    }
+    return fail("unexpected token");
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::object;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!string_lit(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::array;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+/// Field access with schema errors instead of exceptions.
+bool get_u64(const JsonValue& obj, const char* key, std::uint64_t& out, std::string& error) {
+  const auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second.kind != JsonValue::Kind::number) {
+    if (error.empty()) error = std::string("manifest: missing numeric field \"") + key + "\"";
+    return false;
+  }
+  out = it->second.num;
+  return true;
+}
+
+bool get_str(const JsonValue& obj, const char* key, std::string& out, std::string& error) {
+  const auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second.kind != JsonValue::Kind::string) {
+    if (error.empty()) error = std::string("manifest: missing string field \"") + key + "\"";
+    return false;
+  }
+  out = it->second.str;
+  return true;
+}
+
+/// Checksums travel as "0x..." strings: JSON numbers are doubles to most
+/// consumers and would silently round 64-bit values.
+bool get_hex(const JsonValue& obj, const char* key, std::uint64_t& out, std::string& error) {
+  std::string s;
+  if (!get_str(obj, key, s, error)) return false;
+  if (s.size() < 3 || s.compare(0, 2, "0x") != 0) {
+    if (error.empty()) error = std::string("manifest: field \"") + key + "\" is not 0x-hex";
+    return false;
+  }
+  out = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    if (d < 0 || i > 17) {
+      if (error.empty()) error = std::string("manifest: field \"") + key + "\" is not 0x-hex";
+      return false;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(d);
+  }
+  return true;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+constexpr char kManifestFormat[] = "lrdip-shard-manifest-v1";
+
+std::uint32_t family_cert_bytes(ShardFamily f) {
+  return f == ShardFamily::path_outerplanar ? 4 : 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- manifest I/O
+
+ShardManifestResult read_shard_manifest_checked(const std::string& path,
+                                                const ShardLimits& limits) {
+  ShardManifestResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    result.error = "cannot open manifest: " + path;
+    return result;
+  }
+  std::string text;
+  {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  if (text.size() > limits.max_manifest_bytes) {
+    result.error = "manifest exceeds size limit (" + std::to_string(text.size()) + " bytes)";
+    return result;
+  }
+
+  JsonValue root;
+  JsonParser parser(text, &result.error);
+  if (!parser.parse(root)) return result;
+  if (root.kind != JsonValue::Kind::object) {
+    result.error = "manifest: top level is not an object";
+    return result;
+  }
+
+  std::string& err = result.error;
+  std::string format, family;
+  ShardManifest mf;
+  std::uint64_t shard_count = 0, params_fp = 0, arc_num = 0, arc_den = 0;
+  if (!get_str(root, "format", format, err)) return result;
+  if (format != kManifestFormat) {
+    err = "manifest: unsupported format \"" + format + "\"";
+    return result;
+  }
+  if (!get_str(root, "family", family, err) || !get_u64(root, "n", mf.params.n, err) ||
+      !get_u64(root, "seed", mf.params.seed, err) || !get_u64(root, "arc_num", arc_num, err) ||
+      !get_u64(root, "arc_den", arc_den, err) || !get_u64(root, "cols", mf.params.cols, err) ||
+      !get_u64(root, "shard_count", shard_count, err) ||
+      !get_u64(root, "total_halves", mf.total_halves, err) ||
+      !get_hex(root, "params_fp", params_fp, err)) {
+    return result;
+  }
+  const auto fam = shard_family_from_name(family);
+  if (!fam.has_value()) {
+    err = "manifest: unknown family \"" + family + "\"";
+    return result;
+  }
+  mf.params.family = *fam;
+  mf.params.arc_num = static_cast<std::uint32_t>(arc_num);
+  mf.params.arc_den = static_cast<std::uint32_t>(arc_den);
+  if (mf.params.n == 0 || mf.params.n > limits.max_nodes) {
+    err = "manifest: n out of limits (" + std::to_string(mf.params.n) + ")";
+    return result;
+  }
+  if (shard_count == 0 || shard_count > limits.max_shards) {
+    err = "manifest: shard_count out of limits (" + std::to_string(shard_count) + ")";
+    return result;
+  }
+  if (mf.total_halves > limits.max_halves) {
+    err = "manifest: total_halves out of limits";
+    return result;
+  }
+  if (shard_params_fingerprint(mf.params) != params_fp) {
+    err = "manifest: params_fp does not match the declared parameters";
+    return result;
+  }
+  mf.shard_count = static_cast<std::uint32_t>(shard_count);
+
+  const auto it = root.obj.find("shards");
+  if (it == root.obj.end() || it->second.kind != JsonValue::Kind::array) {
+    err = "manifest: missing \"shards\" array";
+    return result;
+  }
+  if (it->second.arr.size() != shard_count) {
+    err = "manifest: shards array has " + std::to_string(it->second.arr.size()) +
+          " entries, shard_count says " + std::to_string(shard_count);
+    return result;
+  }
+  std::uint64_t next_lo = 0, sum_halves = 0;
+  for (std::size_t i = 0; i < it->second.arr.size(); ++i) {
+    const JsonValue& row = it->second.arr[i];
+    if (row.kind != JsonValue::Kind::object) {
+      err = "manifest: shard entry " + std::to_string(i) + " is not an object";
+      return result;
+    }
+    ShardInfo info;
+    std::uint64_t index = 0;
+    if (!get_u64(row, "index", index, err) || !get_u64(row, "lo", info.lo, err) ||
+        !get_u64(row, "hi", info.hi, err) || !get_u64(row, "halves", info.halves, err) ||
+        !get_u64(row, "bytes", info.bytes, err) || !get_str(row, "file", info.file, err) ||
+        !get_hex(row, "checksum_offsets", info.checksum_offsets, err) ||
+        !get_hex(row, "checksum_targets", info.checksum_targets, err) ||
+        !get_hex(row, "checksum_certs", info.checksum_certs, err)) {
+      return result;
+    }
+    info.index = static_cast<std::uint32_t>(index);
+    if (index != i || info.lo != next_lo || info.hi <= info.lo || info.hi > mf.params.n) {
+      err = "manifest: shard " + std::to_string(i) + " does not tile [0, n) (lo=" +
+            std::to_string(info.lo) + " hi=" + std::to_string(info.hi) + ")";
+      return result;
+    }
+    if (info.bytes > limits.max_file_bytes || info.halves > limits.max_halves) {
+      err = "manifest: shard " + std::to_string(i) + " exceeds size limits";
+      return result;
+    }
+    next_lo = info.hi;
+    sum_halves += info.halves;
+    mf.shards.push_back(std::move(info));
+  }
+  if (next_lo != mf.params.n) {
+    err = "manifest: shards cover [0, " + std::to_string(next_lo) + "), n is " +
+          std::to_string(mf.params.n);
+    return result;
+  }
+  if (sum_halves != mf.total_halves) {
+    err = "manifest: per-shard halves sum to " + std::to_string(sum_halves) +
+          ", total_halves says " + std::to_string(mf.total_halves);
+    return result;
+  }
+  mf.dir = std::filesystem::path(path).parent_path().string();
+  result.manifest = std::move(mf);
+  return result;
+}
+
+ShardManifest read_shard_manifest(const std::string& path, const ShardLimits& limits) {
+  ShardManifestResult r = read_shard_manifest_checked(path, limits);
+  if (!r.ok()) throw GraphParseError(r.error);
+  return *std::move(r.manifest);
+}
+
+void write_shard_manifest(const std::string& path, const ShardManifest& manifest) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LRDIP_CHECK_MSG(out.good(), "cannot open manifest for writing: " + path);
+  out << "{\n";
+  out << "  \"format\": \"" << kManifestFormat << "\",\n";
+  out << "  \"family\": \"" << shard_family_name(manifest.params.family) << "\",\n";
+  out << "  \"n\": " << manifest.params.n << ",\n";
+  out << "  \"seed\": " << manifest.params.seed << ",\n";
+  out << "  \"arc_num\": " << manifest.params.arc_num << ",\n";
+  out << "  \"arc_den\": " << manifest.params.arc_den << ",\n";
+  out << "  \"cols\": " << manifest.params.cols << ",\n";
+  out << "  \"params_fp\": \"" << hex_u64(shard_params_fingerprint(manifest.params)) << "\",\n";
+  out << "  \"shard_count\": " << manifest.shard_count << ",\n";
+  out << "  \"total_halves\": " << manifest.total_halves << ",\n";
+  out << "  \"shards\": [\n";
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardInfo& s = manifest.shards[i];
+    out << "    {\"index\": " << s.index << ", \"lo\": " << s.lo << ", \"hi\": " << s.hi
+        << ", \"halves\": " << s.halves << ", \"bytes\": " << s.bytes << ", \"file\": \"" << s.file
+        << "\", \"checksum_offsets\": \"" << hex_u64(s.checksum_offsets)
+        << "\", \"checksum_targets\": \"" << hex_u64(s.checksum_targets)
+        << "\", \"checksum_certs\": \"" << hex_u64(s.checksum_certs) << "\"}"
+        << (i + 1 < manifest.shards.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  LRDIP_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+// --------------------------------------------------------------- shard read
+
+struct ShardOpenAccess {
+  static ShardOpenResult open(const std::string& path, const ShardLimits& limits) {
+    ShardOpenResult result;
+    MappedShard shard;
+    if (!shard.file_.open(path, &result.error)) return result;
+    const auto bytes = shard.file_.bytes();
+    if (bytes.size() > limits.max_file_bytes) {
+      result.error = path + ": exceeds max_file_bytes";
+      return result;
+    }
+    if (bytes.size() < sizeof(ShardHeader)) {
+      result.error = path + ": truncated (no complete header)";
+      return result;
+    }
+    std::memcpy(&shard.header_, bytes.data(), sizeof(ShardHeader));
+    const ShardHeader& h = shard.header_;
+    if (std::memcmp(h.magic, kShardMagic, sizeof kShardMagic) != 0) {
+      result.error = path + ": bad magic (not a shard file)";
+      return result;
+    }
+    if (h.family >= static_cast<std::uint32_t>(kNumShardFamilies)) {
+      result.error = path + ": unknown family tag " + std::to_string(h.family);
+      return result;
+    }
+    if (h.n == 0 || h.n > limits.max_nodes || h.hi <= h.lo || h.hi > h.n ||
+        h.halves > limits.max_halves || h.shard_count == 0 || h.shard_index >= h.shard_count ||
+        (h.cert_bytes != 0 && h.cert_bytes != 4)) {
+      result.error = path + ": header fields out of range";
+      return result;
+    }
+    const std::uint64_t rows = h.rows();
+    const std::uint64_t expect =
+        sizeof(ShardHeader) + (rows + 1) * 4 + h.halves * 4 + rows * h.cert_bytes;
+    if (bytes.size() != expect) {
+      result.error = path + ": file is " + std::to_string(bytes.size()) + " bytes, header implies " +
+                     std::to_string(expect);
+      return result;
+    }
+    const auto* base = reinterpret_cast<const std::uint32_t*>(bytes.data() + sizeof(ShardHeader));
+    shard.offsets_ = {base, static_cast<std::size_t>(rows + 1)};
+    shard.targets_ = {base + rows + 1, static_cast<std::size_t>(h.halves)};
+    shard.certs_ = h.cert_bytes == 4
+                       ? std::span<const std::uint32_t>{base + rows + 1 + h.halves,
+                                                        static_cast<std::size_t>(rows)}
+                       : std::span<const std::uint32_t>{};
+    if (shard.offsets_.front() != 0 || shard.offsets_.back() != h.halves) {
+      result.error = path + ": offsets boundary values disagree with header half count";
+      return result;
+    }
+    result.shard = std::move(shard);
+    return result;
+  }
+};
+
+ShardOpenResult open_shard_checked(const std::string& path, const ShardLimits& limits) {
+  return ShardOpenAccess::open(path, limits);
+}
+
+MappedShard open_shard(const std::string& path, const ShardLimits& limits) {
+  ShardOpenResult r = open_shard_checked(path, limits);
+  if (!r.ok()) throw GraphParseError(r.error);
+  return *std::move(r.shard);
+}
+
+bool MappedShard::verify_checksums(std::string* error) const {
+  const auto sum = [](std::span<const std::uint32_t> s) {
+    return fnv1a_bytes(kFnvOffsetBasis, s.data(), s.size_bytes());
+  };
+  if (sum(offsets_) != header_.checksum_offsets) {
+    if (error != nullptr) *error = "offsets section checksum mismatch";
+    return false;
+  }
+  if (sum(targets_) != header_.checksum_targets) {
+    if (error != nullptr) *error = "targets section checksum mismatch";
+    return false;
+  }
+  if (header_.cert_bytes != 0 && sum(certs_) != header_.checksum_certs) {
+    if (error != nullptr) *error = "certs section checksum mismatch";
+    return false;
+  }
+  return true;
+}
+
+std::string validate_shard_against_manifest(const MappedShard& shard,
+                                            const ShardManifest& manifest,
+                                            const ShardInfo& info) {
+  const ShardHeader& h = shard.header();
+  if (h.params_fp != shard_params_fingerprint(manifest.params)) {
+    return "shard " + std::to_string(info.index) + ": parameter fingerprint mismatch";
+  }
+  if (h.shard_index != info.index || h.shard_count != manifest.shard_count) {
+    return "shard " + std::to_string(info.index) + ": header says index " +
+           std::to_string(h.shard_index) + "/" + std::to_string(h.shard_count) +
+           ", manifest says " + std::to_string(info.index) + "/" +
+           std::to_string(manifest.shard_count);
+  }
+  if (h.lo != info.lo || h.hi != info.hi || h.n != manifest.params.n) {
+    return "shard " + std::to_string(info.index) + ": vertex range disagrees with manifest";
+  }
+  if (h.halves != info.halves) {
+    return "shard " + std::to_string(info.index) + ": header halves " + std::to_string(h.halves) +
+           " != manifest halves " + std::to_string(info.halves);
+  }
+  if (h.checksum_offsets != info.checksum_offsets || h.checksum_targets != info.checksum_targets ||
+      h.checksum_certs != info.checksum_certs) {
+    return "shard " + std::to_string(info.index) + ": stale manifest checksum";
+  }
+  if (h.seed != manifest.params.seed) {
+    return "shard " + std::to_string(info.index) + ": seed disagrees with manifest";
+  }
+  return {};
+}
+
+// -------------------------------------------------------------- shard write
+
+ShardWriter::ShardWriter(const std::string& path, const ShardParams& params, std::uint32_t index,
+                         std::uint32_t count, std::uint64_t lo, std::uint64_t hi,
+                         std::uint32_t cert_bytes)
+    : path_(path) {
+  LRDIP_CHECK(hi > lo && hi <= params.n && index < count);
+  LRDIP_CHECK(cert_bytes == family_cert_bytes(params.family));
+  std::memcpy(header_.magic, kShardMagic, sizeof kShardMagic);
+  header_.n = params.n;
+  header_.lo = lo;
+  header_.hi = hi;
+  header_.seed = params.seed;
+  header_.params_fp = shard_params_fingerprint(params);
+  header_.family = static_cast<std::uint32_t>(params.family);
+  header_.shard_index = index;
+  header_.shard_count = count;
+  header_.cert_bytes = cert_bytes;
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throw GraphParseError("cannot open shard for writing: " + path);
+  offsets_.reserve(static_cast<std::size_t>(hi - lo) + 1);
+  offsets_.push_back(0);
+  if (cert_bytes == 4) certs_.reserve(static_cast<std::size_t>(hi - lo));
+  target_buf_.reserve(kTargetBufWords);
+  checksum_targets_ = kFnvOffsetBasis;
+  // Targets start at a position that depends only on the row count, so the
+  // single pass can stream them now and back-fill header + offsets at finish.
+  const long targets_start = static_cast<long>(sizeof(ShardHeader) + ((hi - lo) + 1) * 4);
+  if (std::fseek(f_, targets_start, SEEK_SET) != 0) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw GraphParseError("seek failed: " + path);
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void ShardWriter::flush_targets() {
+  if (target_buf_.empty()) return;
+  checksum_targets_ =
+      fnv1a_bytes(checksum_targets_, target_buf_.data(), target_buf_.size() * 4);
+  if (std::fwrite(target_buf_.data(), 4, target_buf_.size(), f_) != target_buf_.size()) {
+    throw GraphParseError("write failed: " + path_);
+  }
+  target_buf_.clear();
+}
+
+void ShardWriter::add_target(std::uint32_t target_pos) {
+  target_buf_.push_back(target_pos);
+  ++halves_;
+  if (target_buf_.size() >= kTargetBufWords) flush_targets();
+}
+
+void ShardWriter::end_row(std::uint32_t cert) {
+  LRDIP_CHECK_MSG(halves_ <= UINT32_MAX, "shard half count overflows u32 offsets");
+  offsets_.push_back(static_cast<std::uint32_t>(halves_));
+  if (header_.cert_bytes == 4) certs_.push_back(cert);
+}
+
+ShardInfo ShardWriter::finish(const std::string& file_name_for_manifest) {
+  LRDIP_CHECK(!finished_);
+  finished_ = true;
+  LRDIP_CHECK_MSG(offsets_.size() == header_.rows() + 1,
+                  "finish called before every row was emitted");
+  flush_targets();
+  if (header_.cert_bytes == 4 &&
+      std::fwrite(certs_.data(), 4, certs_.size(), f_) != certs_.size()) {
+    throw GraphParseError("write failed: " + path_);
+  }
+  header_.halves = halves_;
+  header_.checksum_offsets = fnv1a_bytes(kFnvOffsetBasis, offsets_.data(), offsets_.size() * 4);
+  header_.checksum_targets = checksum_targets_;
+  header_.checksum_certs =
+      header_.cert_bytes == 4 ? fnv1a_bytes(kFnvOffsetBasis, certs_.data(), certs_.size() * 4)
+                              : kFnvOffsetBasis;
+  if (std::fseek(f_, 0, SEEK_SET) != 0 ||
+      std::fwrite(&header_, sizeof header_, 1, f_) != 1 ||
+      std::fwrite(offsets_.data(), 4, offsets_.size(), f_) != offsets_.size() ||
+      std::fflush(f_) != 0) {
+    throw GraphParseError("write failed: " + path_);
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+
+  ShardInfo info;
+  info.index = header_.shard_index;
+  info.lo = header_.lo;
+  info.hi = header_.hi;
+  info.halves = halves_;
+  info.bytes = sizeof(ShardHeader) + offsets_.size() * 4 + halves_ * 4 + certs_.size() * 4;
+  info.file = file_name_for_manifest;
+  info.checksum_offsets = header_.checksum_offsets;
+  info.checksum_targets = header_.checksum_targets;
+  info.checksum_certs = header_.checksum_certs;
+  return info;
+}
+
+}  // namespace lrdip

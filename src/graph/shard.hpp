@@ -1,0 +1,242 @@
+// Sharded on-disk instance format: binary CSR shards plus a JSON manifest.
+//
+// An instance at n >= 2^27 never exists as one in-memory Graph. Instead it is
+// a directory of vertex-range shards in the KaGen style: shard i of k covers
+// positions [lo, hi) = [i*n/k, (i+1)*n/k) of the committed order, and holds
+// that range's CSR rows (neighbor POSITIONS, sorted ascending) plus one
+// certificate word per position (the node id the order maps the position to —
+// the Hamiltonian-path certificate of the path-outerplanar family). Shards
+// are seed-deterministic and communication-free: the bytes of shard (i, k)
+// depend only on (params, i, k), never on which other shards exist or the
+// order they were emitted in (src/gen/shard_gen.hpp is the emitter).
+//
+// Shard file layout (little-endian, 4-byte aligned):
+//   ShardHeader                  96 bytes, magic "LRDSHRD1"
+//   offsets   u32[(hi-lo)+1]     row r's targets are [offsets[r], offsets[r+1])
+//   targets   u32[halves]        neighbor positions, ascending within a row
+//   certs     u32[hi-lo]         present iff cert_bytes == 4
+// Each payload section carries its own byte-wise FNV-1a checksum in the
+// header so the streaming sweep (protocols/shard_verify.hpp) can verify
+// integrity incrementally while dropping consumed pages.
+//
+// The manifest is a flat JSON file naming the family parameters and every
+// shard's range, half count and checksums. Reading follows the io.hpp
+// two-surface contract: *_checked never throws on bad input and enforces
+// ShardLimits before trusting any size field; the throwing wrappers raise
+// GraphParseError for call sites where a malformed manifest is caller misuse.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "support/mmap.hpp"
+
+namespace lrdip {
+
+/// Families with communication-free shard emitters. Kept separate from the
+/// full generator menu in gen/generators.hpp: a family earns a slot here only
+/// once any vertex range of it can be produced without global state.
+enum class ShardFamily : int {
+  path_outerplanar = 0,  ///< Hamiltonian path + properly nested dyadic arcs
+  grid = 1,              ///< rows x cols grid (planar by construction)
+};
+inline constexpr int kNumShardFamilies = 2;
+
+const char* shard_family_name(ShardFamily f);
+std::optional<ShardFamily> shard_family_from_name(std::string_view name);
+
+/// Everything that determines the instance. Two equal ShardParams produce
+/// byte-identical shards for every (index, count).
+struct ShardParams {
+  ShardFamily family = ShardFamily::path_outerplanar;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 1;
+  /// path_outerplanar: a dyadic arc is kept with probability arc_num/arc_den.
+  std::uint32_t arc_num = 1;
+  std::uint32_t arc_den = 2;
+  /// grid: row width; n must be a multiple of cols. 0 = near-square default.
+  std::uint64_t cols = 0;
+};
+
+/// FNV fingerprint of the canonical parameter encoding, stamped into every
+/// shard header and the manifest so shards from different configurations can
+/// never be mixed silently.
+std::uint64_t shard_params_fingerprint(const ShardParams& params);
+
+/// Effective grid width for the grid family: params.cols, or the near-square
+/// default (largest divisor of n at most sqrt(n)). Lives here, not in the
+/// emitter, because the verifier derives expected rows from it too.
+std::uint64_t grid_cols(const ShardParams& params);
+
+inline constexpr char kShardMagic[8] = {'L', 'R', 'D', 'S', 'H', 'R', 'D', '1'};
+
+/// On-disk shard header. Plain fixed-width fields, written as-is (the library
+/// targets little-endian hosts; the reader validates magic + arithmetic).
+struct ShardHeader {
+  char magic[8];
+  std::uint64_t n = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t halves = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t params_fp = 0;
+  std::uint32_t family = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint32_t cert_bytes = 0;  // bytes of certificate per position: 0 or 4
+  std::uint64_t checksum_offsets = 0;
+  std::uint64_t checksum_targets = 0;
+  std::uint64_t checksum_certs = 0;
+
+  std::uint64_t rows() const { return hi - lo; }
+};
+static_assert(sizeof(ShardHeader) == 96, "shard header layout is part of the file format");
+
+/// One manifest row.
+struct ShardInfo {
+  std::uint32_t index = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t halves = 0;
+  std::uint64_t bytes = 0;
+  std::string file;  // relative to the manifest's directory
+  std::uint64_t checksum_offsets = 0;
+  std::uint64_t checksum_targets = 0;
+  std::uint64_t checksum_certs = 0;
+};
+
+struct ShardManifest {
+  ShardParams params;
+  std::uint32_t shard_count = 0;
+  std::uint64_t total_halves = 0;  // sum over shards; m = total_halves / 2
+  std::string dir;                 // directory the shard paths resolve against
+  std::vector<ShardInfo> shards;   // in index order, ranges tiling [0, n)
+
+  std::string shard_path(const ShardInfo& info) const;
+};
+
+/// Resource ceilings enforced before any size field is trusted, mirroring
+/// GraphReadLimits. Defaults fit the n = 2^27+ scale target with headroom.
+struct ShardLimits {
+  std::uint64_t max_nodes = 1ull << 28;
+  std::uint64_t max_halves = 1ull << 33;
+  std::uint32_t max_shards = 1u << 12;
+  std::uint64_t max_file_bytes = 1ull << 35;
+  std::size_t max_manifest_bytes = 16u << 20;
+};
+
+// ------------------------------------------------------------- manifest I/O
+
+struct ShardManifestResult {
+  std::optional<ShardManifest> manifest;
+  std::string error;  // empty iff ok()
+
+  bool ok() const { return manifest.has_value(); }
+};
+
+/// Parses and validates a manifest without throwing on malformed input:
+/// schema defects, out-of-limit sizes, non-tiling ranges and inconsistent
+/// totals all come back as an error string.
+ShardManifestResult read_shard_manifest_checked(const std::string& path,
+                                                const ShardLimits& limits = {});
+/// Throwing wrapper: GraphParseError with the same message.
+ShardManifest read_shard_manifest(const std::string& path, const ShardLimits& limits = {});
+
+void write_shard_manifest(const std::string& path, const ShardManifest& manifest);
+
+// --------------------------------------------------------------- shard read
+
+/// A header-validated, memory-mapped shard. Checksum verification is NOT
+/// performed here — the streaming sweep folds section checksums as it
+/// consumes pages (so integrity is checked in one pass with bounded
+/// residency); verify_checksums() is the eager variant for tools and tests.
+class MappedShard {
+ public:
+  const ShardHeader& header() const { return header_; }
+  std::uint64_t rows() const { return header_.rows(); }
+  std::span<const std::uint32_t> offsets() const { return offsets_; }
+  std::span<const std::uint32_t> targets() const { return targets_; }
+  std::span<const std::uint32_t> certs() const { return certs_; }
+  const MappedFile& file() const { return file_; }
+
+  /// Byte offset of each section inside the file, for drop_range bookkeeping.
+  std::size_t offsets_begin() const { return sizeof(ShardHeader); }
+  std::size_t targets_begin() const { return offsets_begin() + (rows() + 1) * 4; }
+  std::size_t certs_begin() const { return targets_begin() + header_.halves * 4; }
+
+  /// Full-file checksum pass against the header sums. Touches every page.
+  bool verify_checksums(std::string* error) const;
+
+ private:
+  friend struct ShardOpenAccess;
+  MappedFile file_;
+  ShardHeader header_{};
+  std::span<const std::uint32_t> offsets_, targets_, certs_;
+};
+
+struct ShardOpenResult {
+  std::optional<MappedShard> shard;
+  std::string error;  // empty iff ok()
+
+  bool ok() const { return shard.has_value(); }
+};
+
+/// Maps and header-validates one shard file: magic, limits, exact size
+/// arithmetic, boundary offset values. Never throws on bad input.
+ShardOpenResult open_shard_checked(const std::string& path, const ShardLimits& limits = {});
+/// Throwing wrapper (GraphParseError).
+MappedShard open_shard(const std::string& path, const ShardLimits& limits = {});
+
+/// Cross-checks a mapped shard against its manifest row and the manifest
+/// parameters (fingerprint, range, half count, checksums-as-declared).
+/// Returns empty when consistent, else a one-line diagnosis.
+std::string validate_shard_against_manifest(const MappedShard& shard,
+                                            const ShardManifest& manifest, const ShardInfo& info);
+
+// -------------------------------------------------------------- shard write
+
+/// Streaming single-pass writer used by the emitters: rows are appended in
+/// position order, targets stream through a fixed buffer straight to disk,
+/// and only the O(rows) offsets/certs arrays stay resident. finish() seeks
+/// back to stamp the header and offsets, then returns the manifest row.
+class ShardWriter {
+ public:
+  /// Throws GraphParseError when the path cannot be opened for writing.
+  ShardWriter(const std::string& path, const ShardParams& params, std::uint32_t index,
+              std::uint32_t count, std::uint64_t lo, std::uint64_t hi, std::uint32_t cert_bytes);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  void add_target(std::uint32_t target_pos);
+  /// Closes the current row. `cert` is ignored when cert_bytes == 0.
+  void end_row(std::uint32_t cert);
+
+  /// Flushes, stamps the header, closes the file. Throws GraphParseError on
+  /// I/O failure or a row-count mismatch.
+  ShardInfo finish(const std::string& file_name_for_manifest);
+
+ private:
+  static constexpr std::size_t kTargetBufWords = 1u << 16;  // 256 KiB write buffer
+
+  void flush_targets();
+
+  std::string path_;
+  ShardHeader header_{};
+  std::FILE* f_ = nullptr;
+  std::vector<std::uint32_t> offsets_;  // running, offsets_[r] closed rows
+  std::vector<std::uint32_t> certs_;
+  std::vector<std::uint32_t> target_buf_;
+  std::uint64_t halves_ = 0;
+  std::uint64_t checksum_targets_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace lrdip

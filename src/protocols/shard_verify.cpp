@@ -1,0 +1,253 @@
+#include "protocols/shard_verify.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/digest.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+
+namespace {
+
+/// Largest prime below 2^32 — the widest modulus the Barrett Fp admits. The
+/// transport-level PIT wants the biggest field it can get (soundness error is
+/// (m/p)^kPitPoints); the paper's polylog(n) fields live in the interactive
+/// protocols, not here.
+constexpr std::uint64_t kPitPrime = 4294967291ULL;
+
+/// Rows folded (checksums + checks) per drop_behind window. 2^16 rows keep
+/// the touched window at a few hundred KiB regardless of shard size.
+constexpr std::uint64_t kBlockRows = std::uint64_t{1} << 16;
+
+}  // namespace
+
+ShardSweep::ShardSweep(const ShardManifest& manifest, const ShardVerifyOptions& options)
+    : params_(manifest.params),
+      shard_count_(manifest.shard_count),
+      declared_halves_(manifest.total_halves),
+      drop_behind_(options.drop_behind),
+      field_(kPitPrime),
+      digest_(kFnvOffsetBasis) {
+  // All verifier coins are drawn here, before any shard is seen: the points
+  // depend only on coin_seed, so the sweep's arithmetic is a pure fold over
+  // positions and cannot depend on how [0, n) was cut into shards.
+  Rng rng(options.coin_seed);
+  for (int k = 0; k < kPitPoints; ++k) {
+    z_pos_[k] = field_.sample(rng);
+    for (int j = 0; j < 3; ++j) z_pair_[k][j] = field_.sample(rng);
+    phi_ids_[k] = phi_ref_[k] = phi_lo_[k] = phi_hi_[k] = 1;
+  }
+}
+
+void ShardSweep::reject_row(RejectReason reason) {
+  reason_ = worse_reason(reason_, reason);
+  ++rejected_rows_;
+}
+
+void ShardSweep::fold_half(std::uint64_t pos, std::uint64_t target) {
+  // Symmetry fingerprint: every directed half folds (z3 - z1*min - z2*max)
+  // into the side its source endpoint is on. The two products agree iff the
+  // half multisets seen from lower and upper endpoints agree — i.e. the CSR
+  // is its own transpose (up to the PIT error).
+  const std::uint64_t a = pos < target ? pos : target;
+  const std::uint64_t b = pos < target ? target : pos;
+  for (int k = 0; k < kPitPoints; ++k) {
+    const std::uint64_t enc =
+        field_.add(field_.mul(z_pair_[k][0], a), field_.mul(z_pair_[k][1], b));
+    const std::uint64_t term = field_.sub(z_pair_[k][2], enc);
+    if (pos < target) {
+      phi_lo_[k] = field_.mul(phi_lo_[k], term);
+    } else {
+      phi_hi_[k] = field_.mul(phi_hi_[k], term);
+    }
+  }
+}
+
+void ShardSweep::consume(const MappedShard& shard) {
+  LRDIP_CHECK_MSG(!finalized_, "ShardSweep::consume after finalize");
+  const ShardHeader& h = shard.header();
+  // Shard/manifest mismatches and out-of-order feeding are driver misuse or
+  // mixed-up files, not prover data — they throw, mirroring graph/io.hpp.
+  if (h.params_fp != shard_params_fingerprint(params_)) {
+    throw GraphParseError("shard parameter fingerprint does not match the manifest");
+  }
+  if (h.shard_count != shard_count_) {
+    throw GraphParseError("shard declares a different shard count than the manifest");
+  }
+  if (h.lo != next_pos_) {
+    throw GraphParseError("shards must be consumed in position order without gaps");
+  }
+
+  const std::uint64_t n = params_.n;
+  const std::uint64_t rows = shard.rows();
+  const std::uint64_t halves = h.halves;
+  const std::span<const std::uint32_t> offsets = shard.offsets();
+  const std::span<const std::uint32_t> targets = shard.targets();
+  const std::span<const std::uint32_t> certs = shard.certs();
+  const bool has_certs = h.cert_bytes == 4;
+  const bool is_path = params_.family == ShardFamily::path_outerplanar;
+  const std::uint64_t cols = params_.family == ShardFamily::grid ? grid_cols(params_) : 0;
+
+  std::uint64_t ck_off = kFnvOffsetBasis;
+  std::uint64_t ck_tgt = kFnvOffsetBasis;
+  std::uint64_t ck_crt = kFnvOffsetBasis;
+  std::uint64_t off_folded = 0;  // offsets ENTRIES folded so far (of rows + 1)
+  std::uint64_t tgt_folded = 0;  // target words folded so far
+  bool payload_ok = true;
+
+  for (std::uint64_t r0 = 0; r0 < rows && payload_ok; r0 += kBlockRows) {
+    const std::uint64_t r1 = std::min(rows, r0 + kBlockRows);
+
+    // Fold this window's slice of each section checksum, validating offset
+    // monotonicity in the same pass — row boundaries are untrusted bytes and
+    // must be proven sane before they index the targets section.
+    const std::uint64_t off_upto = r1 + 1;
+    ck_off = fnv1a_bytes(ck_off, offsets.data() + off_folded, (off_upto - off_folded) * 4);
+    for (std::uint64_t i = off_folded == 0 ? 1 : off_folded; i < off_upto; ++i) {
+      if (offsets[i] < offsets[i - 1] || offsets[i] > halves) {
+        payload_ok = false;
+        break;
+      }
+    }
+    off_folded = off_upto;
+    if (!payload_ok) break;
+
+    const std::uint64_t tgt_upto = offsets[r1];
+    ck_tgt = fnv1a_bytes(ck_tgt, targets.data() + tgt_folded, (tgt_upto - tgt_folded) * 4);
+    if (has_certs) ck_crt = fnv1a_bytes(ck_crt, certs.data() + r0, (r1 - r0) * 4);
+
+    for (std::uint64_t r = r0; r < r1; ++r) {
+      const std::uint64_t pos = h.lo + r;
+      const std::uint32_t* row = targets.data() + offsets[r];
+      const std::uint32_t deg = offsets[r + 1] - offsets[r];
+      bool row_ok = true;
+
+      // Local shape: neighbor positions strictly ascending, in range, no
+      // self-loop. Everything downstream (membership tests, the nesting
+      // split) leans on sortedness, so a shape defect ends this row.
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        const std::uint64_t t = row[i];
+        if (t >= n || t == pos || (i > 0 && t <= row[i - 1])) {
+          row_ok = false;
+          break;
+        }
+      }
+      if (!row_ok) {
+        reject_row(RejectReason::malformed_label);
+        continue;
+      }
+
+      digest_ = fnv1a_bytes(digest_, &deg, 4);
+      digest_ = fnv1a_bytes(digest_, row, std::size_t{deg} * 4);
+      for (std::uint32_t i = 0; i < deg; ++i) fold_half(pos, row[i]);
+      halves_seen_ += deg;
+
+      if (is_path) {
+        // The row splits at pos: left closes, then the path neighbors, then
+        // right opens. The Hamiltonian path edges must both be present.
+        std::uint32_t split = 0;
+        while (split < deg && row[split] < pos) ++split;
+        const bool left_path = pos == 0 || (split > 0 && row[split - 1] == pos - 1);
+        const bool right_path = pos + 1 == n || (split < deg && row[split] == pos + 1);
+        if (!left_path || !right_path) reject_row(RejectReason::check_failed);
+
+        // Closes, innermost (largest open endpoint) first: each must sit on
+        // top of the carry stack as (open, pos).
+        const std::uint32_t closes = split - (pos > 0 && left_path ? 1 : 0);
+        for (std::uint32_t i = closes; i-- > 0;) {
+          if (stack_.empty() || stack_.back().first != row[i] ||
+              stack_.back().second != pos) {
+            reject_row(RejectReason::check_failed);
+            break;
+          }
+          stack_.pop_back();
+        }
+        // Opens, outermost (farthest partner) first, so the nearest partner
+        // closes first — the only push order proper nesting permits.
+        const std::uint32_t opens_from = split + (pos + 1 < n && right_path ? 1 : 0);
+        for (std::uint32_t i = deg; i-- > opens_from;) stack_.push_back({pos, row[i]});
+        max_stack_depth_ = std::max<std::uint64_t>(max_stack_depth_, stack_.size());
+
+        const std::uint64_t cert = certs[r];
+        if (cert >= n) {
+          reject_row(RejectReason::malformed_label);
+        } else {
+          for (int k = 0; k < kPitPoints; ++k) {
+            phi_ids_[k] = field_.mul(phi_ids_[k], field_.sub(z_pos_[k], cert));
+            phi_ref_[k] = field_.mul(phi_ref_[k], field_.sub(z_pos_[k], field_.reduce(pos)));
+          }
+        }
+        digest_ = fnv1a_bytes(digest_, &certs[r], 4);
+      } else {
+        // Grid rows admit a closed form — compare exactly, no carry needed.
+        scratch_.clear();
+        const std::uint64_t rr = pos / cols, cc = pos % cols;
+        if (rr > 0) scratch_.push_back(static_cast<std::uint32_t>(pos - cols));
+        if (cc > 0) scratch_.push_back(static_cast<std::uint32_t>(pos - 1));
+        if (cc + 1 < cols) scratch_.push_back(static_cast<std::uint32_t>(pos + 1));
+        if (pos + cols < n) scratch_.push_back(static_cast<std::uint32_t>(pos + cols));
+        if (deg != scratch_.size() || !std::equal(scratch_.begin(), scratch_.end(), row)) {
+          reject_row(RejectReason::check_failed);
+        }
+      }
+    }
+    tgt_folded = tgt_upto;
+
+    if (drop_behind_) {
+      const MappedFile& file = shard.file();
+      file.drop_range(shard.offsets_begin(), shard.offsets_begin() + off_folded * 4);
+      file.drop_range(shard.targets_begin(), shard.targets_begin() + tgt_folded * 4);
+      if (has_certs) file.drop_range(shard.certs_begin(), shard.certs_begin() + r1 * 4);
+    }
+  }
+
+  if (!payload_ok) {
+    // Corrupt offsets poison every row boundary after them; charge the whole
+    // remaining shard rather than chase garbage indices.
+    reject_row(RejectReason::malformed_label);
+    checksum_ok_ = false;
+  } else if (ck_off != h.checksum_offsets || ck_tgt != h.checksum_targets ||
+             (has_certs && ck_crt != h.checksum_certs)) {
+    reject_row(RejectReason::malformed_label);
+    checksum_ok_ = false;
+  }
+
+  next_pos_ = h.hi;
+}
+
+Outcome ShardSweep::finalize() {
+  LRDIP_CHECK_MSG(!finalized_, "ShardSweep::finalize called twice");
+  finalized_ = true;
+  if (next_pos_ != params_.n) {
+    throw GraphParseError("sweep finalized before every shard was consumed");
+  }
+  if (checksum_ok_ && halves_seen_ != declared_halves_) {
+    reject_row(RejectReason::malformed_label);
+  }
+  if (!stack_.empty()) reject_row(RejectReason::check_failed);
+  if (params_.family == ShardFamily::path_outerplanar) {
+    for (int k = 0; k < kPitPoints; ++k) {
+      if (phi_ids_[k] != phi_ref_[k]) reject_row(RejectReason::check_failed);
+    }
+  }
+  for (int k = 0; k < kPitPoints; ++k) {
+    if (phi_lo_[k] != phi_hi_[k]) reject_row(RejectReason::check_failed);
+  }
+
+  Outcome out;
+  out.rounds = 1;
+  out.reject_reason = reason_;
+  out.accepted = reason_ == RejectReason::none;
+  out.rejected_nodes = static_cast<int>(
+      std::min<std::int64_t>(rejected_rows_, std::numeric_limits<int>::max()));
+  const bool has_certs = params_.family == ShardFamily::path_outerplanar;
+  out.proof_size_bits = has_certs ? 32 : 0;
+  out.total_label_bits = has_certs ? static_cast<std::int64_t>(params_.n) * 32 : 0;
+  // Coins are broadcast, so every node "sees" the full draw.
+  out.max_coin_bits = kPitPoints * 4 * field_.element_bits();
+  return out;
+}
+
+}  // namespace lrdip

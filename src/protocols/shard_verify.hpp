@@ -1,0 +1,111 @@
+// Streaming verification over memory-mapped CSR shards.
+//
+// The paper's protocols are per-node local checks over a distributed proof,
+// which makes verification naturally shardable: this sweep consumes shards in
+// position order, holding only O(log n) carry state between them, and its
+// verdict, metrics and transcript digest are BIT-IDENTICAL for every shard
+// count — the monolithic path is simply the one-shard special case.
+//
+// What is checked, per family:
+//
+//  path_outerplanar — the prover ships, per position, its CSR row (neighbor
+//  positions) and a certificate word (the node id of the committed
+//  Hamiltonian order). The sweep verifies
+//   (1) locally: rows sorted/deduplicated, offsets monotone, path neighbors
+//       (pos-1, pos+1) present, and every non-path arc properly nested via a
+//       balanced-parentheses stack carried across shard boundaries (an arc
+//       opened at a must be the innermost open arc when its partner closes);
+//   (2) globally, by polynomial identity testing at verifier-coin points in
+//       F_p (p = 2^32 - 5, the largest 32-bit prime): the certificate words
+//       are a bijection onto [0, n) — prod (z - id(pos)) == prod (z - pos) —
+//       and the CSR is symmetric — the multiset of fingerprints z1*min+z2*max
+//       seen from lower endpoints equals the one seen from upper endpoints.
+//       Each product is evaluated at kPitPoints independent points, so a
+//       cheating shard escapes with probability about (m/p)^kPitPoints
+//       (~1e-3 at n = 2^27); the paper's polylog-field soundness story
+//       belongs to the interactive protocols, this is the transport-level
+//       certificate check that makes a 2^27-node run tractable.
+//   (3) integrity: per-section FNV checksums folded incrementally as pages
+//       are consumed (and then dropped, when the caller asks).
+//
+//  grid — no certificate; every row must equal the closed-form neighbor set
+//  of (n, cols, pos). The fingerprint products and checksums run unchanged.
+//
+// Field products commute, the digest folds in position order, and coins are
+// drawn once from the seed before the sweep — hence shard-count invariance.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dip/store.hpp"
+#include "field/fp.hpp"
+#include "graph/shard.hpp"
+
+namespace lrdip {
+
+struct ShardVerifyOptions {
+  /// Verifier coin seed: determines the PIT evaluation points.
+  std::uint64_t coin_seed = 1;
+  /// Return consumed pages to the OS as the sweep advances, bounding the
+  /// resident set by a constant window instead of the largest shard.
+  bool drop_behind = true;
+};
+
+/// Independent PIT evaluation points per product (soundness (m/p)^points).
+inline constexpr int kPitPoints = 2;
+
+/// Carry state of a sweep. Everything between shards lives here: the next
+/// expected position, the nesting stack, the field accumulators, the digest.
+class ShardSweep {
+ public:
+  ShardSweep(const ShardManifest& manifest, const ShardVerifyOptions& options);
+
+  /// Consumes one shard. Shards MUST be fed in index order (the sweep is a
+  /// left-to-right pass over positions); a gap or repeat throws
+  /// GraphParseError — that is driver misuse, not prover data.
+  void consume(const MappedShard& shard);
+
+  /// Seals the sweep: global product comparisons, end-of-range checks, and
+  /// the merged Outcome. The digest is the shard-count-invariant transcript
+  /// fingerprint the CI scale gate pins.
+  Outcome finalize();
+
+  std::uint64_t digest() const { return digest_; }
+  std::uint64_t halves_seen() const { return halves_seen_; }
+  std::uint64_t max_stack_depth() const { return max_stack_depth_; }
+
+ private:
+  void reject_row(RejectReason reason);
+  void fold_half(std::uint64_t pos, std::uint64_t target);
+
+  ShardParams params_;
+  std::uint32_t shard_count_;
+  std::uint64_t declared_halves_;
+  bool drop_behind_;
+
+  Fp field_;
+  // Coin points: z_pair_[k] = (z1, z2, z3) fingerprints the pair products,
+  // z_pos_[k] evaluates the bijection products, all drawn from coin_seed.
+  std::uint64_t z_pos_[kPitPoints];
+  std::uint64_t z_pair_[kPitPoints][3];
+  std::uint64_t phi_ids_[kPitPoints];   // prod (z_pos - cert word)
+  std::uint64_t phi_ref_[kPitPoints];   // prod (z_pos - position)
+  std::uint64_t phi_lo_[kPitPoints];    // prod (z3 - enc), halves with pos < target
+  std::uint64_t phi_hi_[kPitPoints];    // prod (z3 - enc), halves with pos > target
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stack_;  // open arcs (a, b)
+  std::uint64_t next_pos_ = 0;
+  std::uint64_t halves_seen_ = 0;
+  std::uint64_t digest_;
+  std::uint64_t max_stack_depth_ = 0;
+  std::int64_t rejected_rows_ = 0;
+  RejectReason reason_ = RejectReason::none;
+  bool checksum_ok_ = true;
+  bool finalized_ = false;
+
+  std::vector<std::uint32_t> scratch_;  // expected grid rows
+};
+
+}  // namespace lrdip

@@ -1,0 +1,118 @@
+#include "support/mmap.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace lrdip {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    opened_ = std::exchange(other.opened_, false);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+bool MappedFile::open(const std::string& path, std::string* error) {
+  reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) *error = path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    if (error != nullptr) *error = path + ": fstat: " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    opened_ = true;
+    return true;
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p != MAP_FAILED) {
+    ::madvise(p, size_, MADV_SEQUENTIAL);
+    data_ = p;
+    mapped_ = true;
+  } else {
+    // Fallback: slurp into an owned buffer. Same bytes, no page dropping.
+    fallback_.resize(size_);
+    std::size_t got = 0;
+    while (got < size_) {
+      const ssize_t r = ::read(fd, fallback_.data() + got, size_ - got);
+      if (r <= 0) {
+        if (error != nullptr) *error = path + ": read: " + std::strerror(errno);
+        ::close(fd);
+        reset();
+        return false;
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    data_ = fallback_.data();
+  }
+  ::close(fd);
+  opened_ = true;
+  return true;
+}
+
+void MappedFile::drop_range(std::size_t from, std::size_t upto) const {
+  if (!mapped_ || data_ == nullptr) return;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  if (upto > size_) upto = size_;
+  const std::size_t lo = (from + page - 1) / page * page;  // shrink to whole pages
+  const std::size_t hi = upto / page * page;
+  if (hi <= lo) return;
+  // MADV_DONTNEED on a read-only file mapping drops the pages; a later fault
+  // would re-read from the file (the sharded sweep never looks back).
+  ::madvise(static_cast<char*>(data_) + lo, hi - lo, MADV_DONTNEED);
+}
+
+void MappedFile::reset() {
+  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  opened_ = false;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+namespace {
+
+std::uint64_t status_field_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t value = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      value = std::strtoull(line + key_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kb() { return status_field_kb("VmHWM:"); }
+
+std::uint64_t current_rss_kb() { return status_field_kb("VmRSS:"); }
+
+}  // namespace lrdip

@@ -1,0 +1,66 @@
+// Read-only memory-mapped files for the sharded instance substrate.
+//
+// MappedFile wraps mmap(2) with RAII unmap and sequential-access advice; the
+// sharded Runtime path maps one shard at a time, so the resident set is
+// bounded by the largest shard (plus a constant), never by the whole
+// instance. drop_range() lets a strictly forward reader return already
+// consumed pages to the OS mid-file, bounding residency below even one
+// shard's size. A read(2)-into-buffer fallback keeps the class usable on
+// filesystems where mmap fails; callers cannot tell the difference beyond
+// drop_range becoming a no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lrdip {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only. On failure returns false and fills `error`; the
+  /// object stays empty. An empty file maps successfully to an empty span.
+  bool open(const std::string& path, std::string* error);
+
+  bool is_open() const { return data_ != nullptr || (size_ == 0 && opened_); }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+  /// Advises the kernel that [from, upto) will not be read again, releasing
+  /// those pages from the resident set (the range is shrunk to whole pages).
+  /// Only meaningful on the mmap path; a no-op for the fallback buffer.
+  void drop_range(std::size_t from, std::size_t upto) const;
+
+  /// Unmaps/frees and returns to the empty state.
+  void reset();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // true: munmap; false: fallback_ owns the bytes
+  bool opened_ = false;
+  std::vector<std::byte> fallback_;
+};
+
+/// Peak resident set size of this process in KiB (VmHWM from
+/// /proc/self/status), or 0 where unavailable. Monotone over the process
+/// lifetime — callers gating per-phase residency should measure in a child
+/// process (bench_scale) or with /usr/bin/time -v (the CI scale gate).
+std::uint64_t peak_rss_kb();
+
+/// Current resident set size in KiB (VmRSS), or 0 where unavailable.
+std::uint64_t current_rss_kb();
+
+}  // namespace lrdip

@@ -1,0 +1,81 @@
+// Seed-deterministic O(1) permutations of [0, n) for communication-free
+// sharded generation.
+//
+// A KaGen-style chunked generator must let ANY worker answer "which node id
+// sits at position i of the committed order?" (and the inverse) without a
+// materialized permutation array — that array alone would be 8n bytes, the
+// very residency the sharded substrate exists to avoid. A 4-round Feistel
+// network over the smallest even-bit domain >= n gives a bijection whose
+// forward and inverse evaluations are a handful of multiplies each;
+// cycle-walking maps the power-of-two domain down to [0, n) while staying a
+// bijection. This is a statistical shuffle for instance generation, not a
+// cryptographic PRP.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+
+/// splitmix64 finalizer: the library's standard 64->64 bit mixer.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class IdPermutation {
+ public:
+  /// Bijection on [0, n) determined entirely by (n, seed).
+  IdPermutation(std::uint64_t n, std::uint64_t seed) : n_(n) {
+    LRDIP_CHECK_MSG(n > 0, "permutation domain must be non-empty");
+    int bits = 2;  // smallest even bit count with 2^bits >= n
+    while ((std::uint64_t{1} << bits) < n) bits += 2;
+    half_bits_ = bits / 2;
+    half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+    for (int r = 0; r < kRounds; ++r) key_[r] = mix64(seed ^ (0xa076'1d64'78bd'642fULL + r));
+  }
+
+  std::uint64_t n() const { return n_; }
+
+  /// Position -> node id.
+  std::uint64_t forward(std::uint64_t x) const {
+    LRDIP_CHECK(x < n_);
+    do {
+      std::uint64_t l = x >> half_bits_, r = x & half_mask_;
+      for (int i = 0; i < kRounds; ++i) {
+        const std::uint64_t t = r;
+        r = l ^ (mix64(r ^ key_[i]) & half_mask_);
+        l = t;
+      }
+      x = (l << half_bits_) | r;
+    } while (x >= n_);  // cycle-walk back into the domain
+    return x;
+  }
+
+  /// Node id -> position. inverse(forward(x)) == x for all x in [0, n).
+  std::uint64_t inverse(std::uint64_t y) const {
+    LRDIP_CHECK(y < n_);
+    do {
+      std::uint64_t l = y >> half_bits_, r = y & half_mask_;
+      for (int i = kRounds - 1; i >= 0; --i) {
+        const std::uint64_t t = l;
+        l = r ^ (mix64(l ^ key_[i]) & half_mask_);
+        r = t;
+      }
+      y = (l << half_bits_) | r;
+    } while (y >= n_);
+    return y;
+  }
+
+ private:
+  static constexpr int kRounds = 4;
+  std::uint64_t n_;
+  int half_bits_;
+  std::uint64_t half_mask_;
+  std::uint64_t key_[kRounds];
+};
+
+}  // namespace lrdip

@@ -46,16 +46,17 @@ TEST(Registry, NameListJoinsEveryTask) {
 }
 
 // Every committed per-task budget file names a registry task and every task
-// has one: bench/budgets/<name>.json <-> registry row. soundness.json is the
-// one cross-task file (E-SOUNDNESS acceptance budgets, all tasks in one
-// sweep) and is excluded from the bijection.
+// has one: bench/budgets/<name>.json <-> registry row. Two files are
+// cross-task and excluded from the bijection: soundness.json (E-SOUNDNESS
+// acceptance budgets, all tasks in one sweep) and scale.json (E-SCALE
+// digest + peak-RSS budgets for the sharded substrate).
 TEST(Registry, BudgetFilesMatchRegistry) {
   const std::filesystem::path dir(LRDIP_BUDGETS_DIR);
   ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
   std::set<std::string> stems;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.path().extension() != ".json") continue;
-    if (entry.path().stem() == "soundness") continue;
+    if (entry.path().stem() == "soundness" || entry.path().stem() == "scale") continue;
     stems.insert(entry.path().stem().string());
   }
   std::set<std::string> names;

@@ -18,6 +18,14 @@ Dispatches on the results file's "experiment" field:
   instance. Cells whose trial count differs from the budget's are skipped (a
   different LRDIP_BENCH_TRIALS is a different experiment, not a regression).
 
+* E-SCALE (bench_scale --json or tools/scale_summary.py): compares against
+  bench/budgets/scale.json. The run fails when any cell rejected, when the
+  transcript digests differ across shard counts or from the budget's pinned
+  digest (the digest is exact — the sweep is seed-pinned and deterministic),
+  or when a cell's verify-phase peak RSS exceeds the budgeted ceiling for its
+  shard count. Results whose (family, log_n, seed, coin_seed) differ from the
+  budget's are a different experiment and exit 2, not a regression.
+
 Exit status: 0 all within budget, 1 regression(s), 2 usage/schema error.
 
 Usage:
@@ -89,6 +97,58 @@ def check_soundness(results, budgets_dir):
     print(f"\nall {checked} checked soundness cells within budget")
 
 
+def check_scale(results, budgets_dir):
+    """Gate the sharded-substrate run against budgets/scale.json: digest
+    bit-identity across shard counts plus per-phase peak-RSS ceilings."""
+    budget_path = budgets_dir / "scale.json"
+    if not budget_path.exists():
+        print(f"error: no scale budget {budget_path}", file=sys.stderr)
+        sys.exit(2)
+    budget = load_json(budget_path)
+    for key in ("family", "log_n", "seed", "coin_seed"):
+        if results.get(key) != budget.get(key):
+            print(f"error: results {key}={results.get(key)!r} does not match budget "
+                  f"{key}={budget.get(key)!r} — different experiment, nothing to gate",
+                  file=sys.stderr)
+            sys.exit(2)
+    pinned = budget["digest"]
+    rss_caps = {int(k): int(v) for k, v in budget.get("max_verify_rss_kb", {}).items()}
+
+    failures = []
+    checked = 0
+    rows = results.get("rows", [])
+    for row in rows:
+        shards = int(row["shards"])
+        checked += 1
+        marks = []
+        if not row.get("accepted", False):
+            marks.append("REJECTED")
+            failures.append(f"shards={shards}: verification rejected")
+        if row.get("digest") != pinned:
+            marks.append("DIGEST-DRIFT")
+            failures.append(f"shards={shards}: digest {row.get('digest')} != pinned {pinned}")
+        rss = int(row.get("verify_peak_rss_kb", 0))
+        cap = rss_caps.get(shards)
+        if cap is not None and rss > cap:
+            marks.append("RSS-OVER")
+            failures.append(f"shards={shards}: verify peak RSS {rss} KiB > budget {cap} KiB")
+        cap_str = str(cap) if cap is not None else "-"
+        print(f"  shards={shards:<3} digest={row.get('digest')} rss={rss:>7} KiB "
+              f"budget={cap_str:>7} KiB  {' '.join(marks) if marks else 'ok'}")
+    if not results.get("digests_identical", False):
+        failures.append("digests differ across shard counts (bit-identity broken)")
+
+    if checked == 0:
+        print("error: no rows in the scale results", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"\n{len(failures)} scale budget violation(s):")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nall {checked} scale cells within budget; digests bit-identical")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("results", help="bench_proof_size or bench_soundness --json output")
@@ -100,6 +160,9 @@ def main():
     results = load_json(args.results)
     if results.get("experiment") == "E-SOUNDNESS":
         check_soundness(results, pathlib.Path(args.budgets_dir))
+        return
+    if results.get("experiment") == "E-SCALE":
+        check_scale(results, pathlib.Path(args.budgets_dir))
         return
     tasks = results.get("tasks")
     if not isinstance(tasks, dict) or not tasks:

@@ -10,6 +10,10 @@ tools/check_budgets.py, which compares deterministic quantities.
 
 Usage:
     tools/diff_throughput.py current.json BENCH_throughput.json [--warn-pct 10]
+        [--github-summary "$GITHUB_STEP_SUMMARY"]
+
+With --github-summary, the same per-benchmark table is appended to the given
+file as markdown so it lands on the job's summary page.
 
 Always exits 0 (2 only on unreadable input).
 """
@@ -74,6 +78,8 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--warn-pct", type=float, default=10.0,
                     help="flag benchmarks slower than baseline by more than this")
+    ap.add_argument("--github-summary", default=None,
+                    help="file to append a markdown table to (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     current_doc = load_doc(args.current)
@@ -84,12 +90,16 @@ def main():
         return
 
     warned = 0
+    md = ["### Throughput vs committed baseline (warn-only)", "",
+          "| benchmark | baseline (ns) | current (ns) | delta |",
+          "|:----------|--------------:|-------------:|------:|"]
     print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(current):
         cur = current[name]
         base = baseline.get(name)
         if base is None or base <= 0:
             print(f"{name:<40} {'-':>12} {cur:>12.0f}      new")
+            md.append(f"| `{name}` | - | {cur:.0f} | new |")
             continue
         pct = 100.0 * (cur - base) / base
         mark = ""
@@ -97,8 +107,17 @@ def main():
             mark = f"  SLOWER (> {args.warn_pct:.0f}%)"
             warned += 1
         print(f"{name:<40} {base:>12.0f} {cur:>12.0f} {pct:>+7.1f}%{mark}")
+        md.append(f"| `{name}` | {base:.0f} | {cur:.0f} | "
+                  f"{'**' if mark else ''}{pct:+.1f}%{'**' if mark else ''} |")
     for name in sorted(set(baseline) - set(current)):
         print(f"{name:<40} {baseline[name]:>12.0f} {'-':>12}  missing")
+        md.append(f"| `{name}` | {baseline[name]:.0f} | - | missing |")
+    md.append("")
+    md.append(f"{warned} benchmark(s) beyond the {args.warn_pct:.0f}% warn threshold "
+              "(informational; runners are noisy)")
+    if args.github_summary:
+        with open(args.github_summary, "a") as f:
+            f.write("\n".join(md) + "\n")
 
     if warned:
         print(f"\n::warning::{warned} benchmark(s) slower than the committed baseline "

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Assemble the CI scale-smoke cells into one E-SCALE results file.
+
+CI runs `lrdip_cli shard-verify --json` once per shard count, each wrapped in
+`/usr/bin/time -v` so the peak RSS is measured around the whole process (the
+same quantity bench_scale measures with fork + ru_maxrss, so the committed
+budgets transfer). This script stitches those per-cell artifacts into the
+bench_scale JSON schema that tools/check_budgets.py gates on, checks the
+transcript digests are bit-identical across shard counts, and optionally
+appends a markdown table to $GITHUB_STEP_SUMMARY.
+
+Usage:
+    tools/scale_summary.py --family path-outerplanar --log-n 20 --seed 7 \
+        --out scale_results.json [--github-summary "$GITHUB_STEP_SUMMARY"] \
+        verify_k1.json:time_k1.txt verify_k4.json:time_k4.txt ...
+
+Each positional cell is VERIFY_JSON:TIME_V_FILE. Shard count, digest, and
+coin seed come from the verify JSON; peak RSS and wall time come from the
+`/usr/bin/time -v` log.
+
+Exit status: 0 all cells accepted and digests identical, 1 otherwise,
+2 usage/parse error. The JSON and summary are written even on failure so the
+downstream budget gate and the job summary still show what happened.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def parse_time_v(path):
+    """Extract (peak_rss_kb, wall_s) from a /usr/bin/time -v log."""
+    try:
+        text = open(path).read()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rss = re.search(r"Maximum resident set size \(kbytes\):\s*(\d+)", text)
+    wall = re.search(r"Elapsed \(wall clock\) time.*:\s*([\d:.]+)", text)
+    if not rss:
+        print(f"error: {path} has no 'Maximum resident set size' line "
+              f"(was the command wrapped in /usr/bin/time -v?)", file=sys.stderr)
+        sys.exit(2)
+    wall_s = 0.0
+    if wall:
+        parts = wall.group(1).split(":")
+        for p in parts:
+            wall_s = wall_s * 60.0 + float(p)
+    return int(rss.group(1)), wall_s
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--family", required=True)
+    ap.add_argument("--log-n", type=int, required=True)
+    ap.add_argument("--seed", type=int, required=True)
+    ap.add_argument("--out", required=True, help="E-SCALE results JSON to write")
+    ap.add_argument("--github-summary", default=None,
+                    help="file to append a markdown table to (e.g. $GITHUB_STEP_SUMMARY)")
+    ap.add_argument("cells", nargs="+", metavar="VERIFY_JSON:TIME_V_FILE")
+    args = ap.parse_args()
+
+    n = 1 << args.log_n
+    rows = []
+    coin_seed = None
+    for cell in args.cells:
+        if ":" not in cell:
+            print(f"error: cell {cell!r} is not VERIFY_JSON:TIME_V_FILE", file=sys.stderr)
+            sys.exit(2)
+        verify_path, time_path = cell.split(":", 1)
+        try:
+            with open(verify_path) as f:
+                v = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {verify_path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        if int(v.get("n", 0)) != n:
+            print(f"error: {verify_path} has n={v.get('n')}, expected 2^{args.log_n}={n}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if coin_seed is None:
+            coin_seed = int(v["coin_seed"])
+        elif int(v["coin_seed"]) != coin_seed:
+            print(f"error: {verify_path} used coin_seed={v['coin_seed']}, "
+                  f"other cells used {coin_seed}", file=sys.stderr)
+            sys.exit(2)
+        rss_kb, wall_s = parse_time_v(time_path)
+        rows.append({
+            "shards": int(v["shards"]),
+            "accepted": bool(v["accepted"]),
+            "digest": v["digest"],
+            "halves": int(v.get("halves", 0)),
+            "max_stack_depth": int(v.get("max_stack_depth", 0)),
+            "verify_wall_s": wall_s,
+            "verify_peak_rss_kb": rss_kb,
+        })
+    rows.sort(key=lambda r: r["shards"])
+
+    digests_identical = len({r["digest"] for r in rows}) == 1
+    all_accepted = all(r["accepted"] for r in rows)
+    results = {
+        "experiment": "E-SCALE",
+        "family": args.family,
+        "log_n": args.log_n,
+        "n": n,
+        "seed": args.seed,
+        "coin_seed": coin_seed,
+        "digests_identical": digests_identical,
+        "rows": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+
+    lines = [
+        f"### E-SCALE smoke: {args.family} n=2^{args.log_n} "
+        f"(seed {args.seed}, coin seed {coin_seed})",
+        "",
+        "| shards | accepted | digest | verify wall (s) | verify peak RSS (KiB) |",
+        "|-------:|:--------:|:-------|----------------:|----------------------:|",
+    ]
+    for r in rows:
+        lines.append(f"| {r['shards']} | {'yes' if r['accepted'] else '**NO**'} "
+                     f"| `{r['digest']}` | {r['verify_wall_s']:.2f} "
+                     f"| {r['verify_peak_rss_kb']} |")
+    lines.append("")
+    lines.append("digests bit-identical across shard counts: "
+                 + ("**yes**" if digests_identical else "**NO — bit-identity broken**"))
+    lines.append("")
+    summary = "\n".join(lines)
+    print(summary)
+    if args.github_summary:
+        with open(args.github_summary, "a") as f:
+            f.write(summary + "\n")
+
+    if not all_accepted or not digests_identical:
+        print("scale smoke FAILED (rejection or digest drift)", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
