@@ -9,7 +9,16 @@
 //         [--seed S] [--c C] [--json]
 //   lrdip shard-gen <family> <n> <shards> <out-dir> [--seed S] [--cols C]
 //   lrdip shard-verify <manifest> [--coin-seed S] [--json] [--no-drop-behind]
+//   lrdip planarity <graph-file> [--engine bm|demoucron] [--json]
+//   lrdip run <task> <graph-file> [...]
 //   lrdip list-tasks
+//
+// `planarity` is the centralized engine, not the interactive protocol: it
+// prints the Boyer–Myrvold (or Demoucron) verdict with embedding stats on
+// planar inputs and the extracted Kuratowski witness (K5 / K3,3 subdivision,
+// as edge ids) on non-planar ones. Because the token shadows the planarity
+// *task*, `lrdip run <task> <graph>` invokes any task's interactive protocol
+// unambiguously.
 //
 // shard-gen/shard-verify are the scale substrate (graph/shard.hpp): shard-gen
 // emits a directory of seed-deterministic CSR shards plus manifest.json
@@ -54,7 +63,10 @@
 #include "dip/runtime.hpp"
 #include "gen/generators.hpp"
 #include "gen/shard_gen.hpp"
+#include "graph/boyer_myrvold.hpp"
 #include "graph/io.hpp"
+#include "graph/kuratowski.hpp"
+#include "graph/planarity.hpp"
 #include "obs/emit.hpp"
 #include "obs/metrics.hpp"
 #include "protocols/registry.hpp"
@@ -82,6 +94,8 @@ int usage() {
                "        [--n N] [--trials T (default 24)] [--seed S] [--c C] [--json]\n"
                "  lrdip shard-gen <family> <n> <shards> <out-dir> [--seed S] [--cols C]\n"
                "  lrdip shard-verify <manifest> [--coin-seed S] [--json] [--no-drop-behind]\n"
+               "  lrdip planarity <graph-file> [--engine bm|demoucron] [--json]\n"
+               "  lrdip run <task> <graph-file> [options as above]\n"
                "  lrdip list-tasks\n"
                "tasks:    "
             << task_name_list(" ")
@@ -114,6 +128,8 @@ struct Options {
   std::uint64_t coin_seed = 1;
   std::uint64_t cols = 0;
   bool drop_behind = true;
+  // planarity subcommand only:
+  std::string engine = "bm";
 };
 
 std::uint32_t parse_models(const std::string& spec) {
@@ -172,6 +188,11 @@ Options parse_options(int argc, char** argv, int from) {
       opt.cols = std::stoull(next());
     } else if (a == "--no-drop-behind") {
       opt.drop_behind = false;
+    } else if (a == "--engine") {
+      opt.engine = next();
+      if (opt.engine != "bm" && opt.engine != "demoucron") {
+        throw UsageError("--engine expects bm or demoucron");
+      }
     } else {
       throw UsageError("unknown option: " + a);
     }
@@ -504,6 +525,62 @@ int run_shard_verify(const std::string& manifest_arg, const Options& opt) {
   return rep.outcome.accepted ? 0 : 1;
 }
 
+/// Centralized planarity check: exit 0 = planar (an answer), 1 = non-planar
+/// (also an answer — mirrors ACCEPT/REJECT for the protocol subcommands),
+/// 2 = usage / malformed input, 3 = internal error.
+int run_planarity_check(const std::string& path, const Options& opt) {
+  const GraphFile gf = read_graph_file(path);
+  const Graph& g = gf.graph;
+
+  bool planar = false;
+  int faces = 0;
+  std::vector<EdgeId> witness;
+  std::string kind;
+  if (opt.engine == "demoucron") {
+    const auto emb = planar_embedding(g, PlanarityEngine::kDemoucron);
+    planar = emb.has_value();
+    if (planar) faces = count_faces(g, *emb);
+  } else {
+    const PlanarityResult res = boyer_myrvold(g, BmOutput::kEmbeddingOrWitness);
+    planar = res.planar;
+    if (planar) {
+      faces = count_faces(g, *res.embedding);
+    } else {
+      witness = res.witness;
+      kind = classify_kuratowski(g, witness) == KuratowskiKind::kK5 ? "K5" : "K3,3";
+    }
+  }
+
+  if (opt.json) {
+    std::cout << "{\"planar\": " << (planar ? "true" : "false") << ", \"n\": " << g.n()
+              << ", \"m\": " << g.m() << ", \"engine\": \"" << opt.engine << "\"";
+    if (planar) {
+      std::cout << ", \"faces\": " << faces;
+    } else if (!witness.empty()) {
+      std::cout << ", \"witness_kind\": \"" << kind << "\", \"witness_edges\": [";
+      for (std::size_t i = 0; i < witness.size(); ++i) {
+        std::cout << (i ? ", " : "") << witness[i];
+      }
+      std::cout << "]";
+    }
+    std::cout << "}\n";
+  }
+  std::ostream& os = opt.json ? std::cerr : std::cout;
+  os << "planarity: " << (planar ? "PLANAR" : "NON-PLANAR") << "  n=" << g.n()
+     << "  m=" << g.m() << "  engine=" << opt.engine;
+  if (planar) {
+    os << "  faces=" << faces;
+  } else if (!witness.empty()) {
+    os << "  witness=" << kind << " subdivision (" << witness.size() << " edges):";
+    for (const EdgeId e : witness) {
+      const auto [u, v] = g.endpoints(e);
+      os << " e" << e << "(" << u << "-" << v << ")";
+    }
+  }
+  os << "\n";
+  return planar ? 0 : 1;
+}
+
 int list_tasks() {
   for (const ProtocolSpec& spec : protocol_registry()) {
     std::cout << spec.name << "  (" << spec.theorem << ")";
@@ -545,6 +622,13 @@ int main(int argc, char** argv) {
     }
     if (cmd == "shard-verify") {
       return run_shard_verify(argv[2], parse_options(argc, argv, 3));
+    }
+    if (cmd == "planarity") {
+      return run_planarity_check(argv[2], parse_options(argc, argv, 3));
+    }
+    if (cmd == "run") {
+      if (argc < 4) return usage();
+      return run_task(argv[2], argv[3], parse_options(argc, argv, 4));
     }
     return run_task(cmd, argv[2], parse_options(argc, argv, 3));
   } catch (const std::exception& ex) {

@@ -137,6 +137,10 @@ SoundnessPoint SoundnessEstimator::estimate(Task t, int n, Strategy s) const {
       // coins, which is the adversary the soundness error quantifies over.
       GreedyOptions gopt = opt_.greedy;
       gopt.seed ^= opt_.seed;
+      // Near-no generators that planted an explicit obstruction (the
+      // Kuratowski witness for planarity) expose it; the greedy prover
+      // concentrates its edits there.
+      gopt.focus_edges = no.witness();
       for (int i = 0; i < opt_.trials; ++i) {
         const std::uint64_t coin_seed = p.coin_seed0 + static_cast<std::uint64_t>(i);
         const GreedyResult r = greedy_search(*rt_, no.view(), coin_seed, gopt);

@@ -77,11 +77,36 @@ GreedyResult greedy_search(const Runtime& rt, const Instance& inst, std::uint64_
   const std::vector<Site> sites = enumerate_sites(transcript);
   if (sites.empty() || best.outcome.accepted) return best;
 
+  // Witness-focused site pool: transcript slots on the planted obstruction's
+  // edges or their endpoints. The obstruction is where the honest run's
+  // rejections localize, so edits there are the highest-leverage lies.
+  std::vector<Site> focus;
+  if (!opt.focus_edges.empty()) {
+    const Graph& g = inst.graph();
+    std::vector<char> edge_in(static_cast<std::size_t>(g.m()), 0);
+    std::vector<char> node_in(static_cast<std::size_t>(g.n()), 0);
+    for (const EdgeId e : opt.focus_edges) {
+      if (e < 0 || e >= g.m()) continue;
+      edge_in[static_cast<std::size_t>(e)] = 1;
+      const auto [a, b] = g.endpoints(e);
+      node_in[static_cast<std::size_t>(a)] = node_in[static_cast<std::size_t>(b)] = 1;
+    }
+    for (const Site& s : sites) {
+      const auto& in = s.is_edge ? edge_in : node_in;
+      if (s.id >= 0 && s.id < static_cast<std::int64_t>(in.size()) &&
+          in[static_cast<std::size_t>(s.id)]) {
+        focus.push_back(s);
+      }
+    }
+  }
+
   // Proposals are (site, fresh value); evaluation replays the SAME coin seed,
   // so the climb is deterministic given (instance, coin_seed, opt.seed).
   Rng propose(opt.seed ^ (coin_seed * 0x9e3779b97f4a7c15ULL));
   for (int it = 0; it < opt.iterations; ++it) {
-    const Site& s = sites[propose.uniform(sites.size())];
+    const bool from_focus = !focus.empty() && propose.chance(1, 2);
+    const std::vector<Site>& pool = from_focus ? focus : sites;
+    const Site& s = pool[propose.uniform(pool.size())];
     const std::uint64_t mask =
         s.bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << s.bits) - 1;
     EditScript candidate = best.script;

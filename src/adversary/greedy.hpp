@@ -56,6 +56,13 @@ struct GreedyOptions {
   int iterations = 48;
   /// Seed of the proposal stream (independent of the verifier's coin seed).
   std::uint64_t seed = 1;
+  /// Edge ids of the instance's planted obstruction (e.g. the Kuratowski
+  /// witness a near-no planarity instance carries). When non-empty, half of
+  /// the proposals are drawn from transcript slots on these edges or their
+  /// endpoints — the nodes whose checks the obstruction trips — instead of
+  /// uniformly over the whole transcript. Still fully deterministic given
+  /// (instance, coin_seed, seed).
+  std::vector<EdgeId> focus_edges;
 };
 
 struct GreedyResult {

@@ -6,7 +6,9 @@
 
 #include "gen/shard_gen.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/boyer_myrvold.hpp"
 #include "graph/embedder.hpp"
+#include "graph/kuratowski.hpp"
 #include "support/check.hpp"
 
 namespace lrdip {
@@ -329,6 +331,17 @@ Graph plant_subdivision(const Graph& host, const Graph& kernel, int subdiv, Rng&
   // Stitch the gadget to the host so the result stays connected.
   if (host.n() > 0) g.add_edge(static_cast<NodeId>(rng.uniform(host.n())), branch[0]);
   return g;
+}
+
+PlantedWitnessInstance planted_kuratowski_no(int n, int subdiv, Rng& rng) {
+  PlanarInstance host = random_planar(n, 0.3, rng);
+  const Graph kernel = rng.coin() ? complete_graph(5) : complete_bipartite(3, 3);
+  PlantedWitnessInstance out;
+  out.graph = plant_subdivision(host.graph, kernel, subdiv, rng);
+  out.witness = kuratowski_witness(out.graph);
+  LRDIP_CHECK_MSG(is_kuratowski_witness(out.graph, out.witness),
+                  "planted_kuratowski_no: extracted witness failed validation");
+  return out;
 }
 
 PlanarInstance corrupt_rotation(PlanarInstance inst, int k, Rng& rng) {

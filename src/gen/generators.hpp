@@ -107,6 +107,21 @@ PlanarInstance random_planar(int n, double drop, Rng& rng);
 /// the paper's argument for why cluster-local checks must fail.
 Graph plant_subdivision(const Graph& host, const Graph& kernel, int subdiv, Rng& rng);
 
+/// A planted-subdivision no-instance together with the minimal Kuratowski
+/// witness the Boyer–Myrvold engine extracts from it. The witness is the
+/// subdivided kernel itself (the gadget meets the planar host in a single
+/// stitch edge, so no smaller obstruction exists); it is re-extracted and
+/// validated rather than trusted from the construction, so the edge ids are
+/// exactly what `kuratowski_witness` reports to any consumer.
+struct PlantedWitnessInstance {
+  Graph graph;
+  std::vector<EdgeId> witness;  ///< edge ids of a K5 / K3,3 subdivision
+};
+
+/// Plants a subdivided K5 or K3,3 (coin flip) into a random planar host and
+/// returns the graph with its extracted, validated Kuratowski witness.
+PlantedWitnessInstance planted_kuratowski_no(int n, int subdiv, Rng& rng);
+
 /// A planar instance with the rotation corrupted at `k` random nodes of
 /// degree >= 3 (random transposition in the local order). With the host
 /// having >= 1 face of length > 3 this usually raises the genus; callers

@@ -1,0 +1,491 @@
+#include "graph/boyer_myrvold.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lrdip {
+namespace {
+
+constexpr int kNone = -1;
+
+// The engine works in DFS-index space: vertices are renumbered by discovery
+// order so that ancestor tests are integer comparisons. The embedding is a
+// forest of biconnected components; every bicomp is rooted at a *virtual*
+// vertex (universe id n + c for the tree edge parent(c) -> c), a copy of the
+// parent that is merged into the real parent when the walkdown needs to pass
+// through it. Adjacency lists are linear doubly-linked arc lists whose two
+// ends touch the external face; traversal carries no global orientation
+// (links are read relative to the arc you entered on), so a bicomp flip only
+// swaps link sides of the spliced root list and records a sign for the final
+// orientation pass.
+struct BmEngine {
+  const Graph& g;
+  int n;
+
+  // --- DFS phase ---
+  std::vector<NodeId> vertex_of;  // dfi -> original node id
+  std::vector<int> dfi_of;        // original node id -> dfi
+  std::vector<int> parent;        // dfi space; kNone for DFS roots
+  std::vector<EdgeId> parent_edge;
+  std::vector<int> least_ancestor;  // min dfi over direct back edges; n if none
+  std::vector<int> lowpoint;        // min over subtree; n if none
+  struct Back {
+    int from;  // descendant endpoint, dfi space
+    EdgeId edge;
+  };
+  std::vector<std::vector<Back>> back_edges;  // indexed by ancestor dfi
+
+  // Separated DFS children, per vertex, ascending by lowpoint. A child is
+  // removed when its bicomp is merged into its parent.
+  std::vector<int> child_head, child_next, child_prev;
+
+  // --- Embedding structure (universe ids: 0..n-1 real, n..2n-1 virtual) ---
+  // Arcs come in twin pairs (a ^ 1). arc_link[s][a] is the next arc toward
+  // the side-s end of the owning vertex's list (kNone at the ends);
+  // v_link[s][u] is the side-s end arc.
+  std::vector<int> arc_neighbor;
+  std::vector<EdgeId> arc_edge;
+  std::vector<int> arc_link[2];
+  std::vector<int> v_link[2];
+
+  // --- Per-round state (stamped with the round's dfi, so no clearing) ---
+  int round = kNone;
+  std::vector<int> visited;        // universe
+  std::vector<int> backedge_flag;  // real; == round iff back edge (v, w) pending
+  std::vector<EdgeId> backedge_id;
+  // Pertinent child-bicomp roots per real vertex: intrusive deque of virtual
+  // ids, link arrays indexed by child dfi (r - n).
+  std::vector<int> root_head, root_tail, root_next, root_prev;
+  std::vector<int> touched_hosts;  // hosts with pushes this round, for cleanup
+  int pending = 0;                 // back edges not yet embedded this round
+
+  std::vector<signed char> flip_sign;  // per child dfi; -1 if merge mirrored
+
+  struct MergeRec {
+    int host, host_side, root, root_side;
+  };
+  std::vector<MergeRec> merge_stack;
+  std::vector<int> scratch_arcs;
+
+  explicit BmEngine(const Graph& graph) : g(graph), n(graph.n()) {}
+
+  // ---- DFS: discovery order, parents, back edges, lowpoints ----
+  void run_dfs() {
+    vertex_of.assign(n, kNone);
+    dfi_of.assign(n, kNone);
+    parent.assign(n, kNone);
+    parent_edge.assign(n, kNone);
+    least_ancestor.assign(n, n);
+    back_edges.assign(n, {});
+    struct Frame {
+      NodeId v;
+      size_t i;
+    };
+    std::vector<Frame> stack;
+    int counter = 0;
+    for (NodeId s = 0; s < n; ++s) {
+      if (dfi_of[s] != kNone) continue;
+      dfi_of[s] = counter;
+      vertex_of[counter] = s;
+      ++counter;
+      stack.push_back({s, 0});
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto nbrs = g.neighbors(f.v);
+        if (f.i == nbrs.size()) {
+          stack.pop_back();
+          continue;
+        }
+        const Half h = nbrs[f.i++];
+        const int du = dfi_of[f.v];
+        if (dfi_of[h.to] == kNone) {
+          dfi_of[h.to] = counter;
+          vertex_of[counter] = h.to;
+          parent[counter] = du;
+          parent_edge[counter] = h.edge;
+          ++counter;
+          stack.push_back({h.to, 0});
+        } else {
+          const int dt = dfi_of[h.to];
+          if (dt < du && h.edge != parent_edge[du]) {
+            back_edges[dt].push_back({du, h.edge});
+            least_ancestor[du] = std::min(least_ancestor[du], dt);
+          }
+        }
+      }
+    }
+    lowpoint = least_ancestor;
+    for (int u = n - 1; u >= 1; --u) {
+      if (parent[u] != kNone) {
+        lowpoint[parent[u]] = std::min(lowpoint[parent[u]], lowpoint[u]);
+      }
+    }
+    // Separated-child lists sorted ascending by lowpoint (bucket sort,
+    // prepending from the largest bucket down).
+    child_head.assign(n, kNone);
+    child_next.assign(n, kNone);
+    child_prev.assign(n, kNone);
+    std::vector<int> bucket_head(n + 1, kNone), bucket_next(n, kNone);
+    for (int u = 0; u < n; ++u) {
+      if (parent[u] == kNone) continue;
+      const int lp = std::min(lowpoint[u], n);
+      bucket_next[u] = bucket_head[lp];
+      bucket_head[lp] = u;
+    }
+    for (int lp = n; lp >= 0; --lp) {
+      for (int u = bucket_head[lp]; u != kNone; u = bucket_next[u]) {
+        const int p = parent[u];
+        child_next[u] = child_head[p];
+        child_prev[u] = kNone;
+        if (child_head[p] != kNone) child_prev[child_head[p]] = u;
+        child_head[p] = u;
+      }
+    }
+  }
+
+  void remove_child(int c) {
+    const int p = parent[c];
+    if (child_prev[c] != kNone) {
+      child_next[child_prev[c]] = child_next[c];
+    } else if (child_head[p] == c) {
+      child_head[p] = child_next[c];
+    }
+    if (child_next[c] != kNone) child_prev[child_next[c]] = child_prev[c];
+    child_prev[c] = child_next[c] = kNone;
+  }
+
+  // ---- Arc-list primitives ----
+  void attach(int u, int s, int a) {
+    const int old = v_link[s][u];
+    arc_link[s][a] = kNone;
+    arc_link[1 - s][a] = old;
+    if (old != kNone) {
+      arc_link[s][old] = a;
+    } else {
+      v_link[1 - s][u] = a;
+    }
+    v_link[s][u] = a;
+  }
+
+  void embed_edge(int u1, int s1, int u2, int s2, EdgeId e) {
+    const int a = static_cast<int>(arc_neighbor.size());
+    arc_neighbor.push_back(u2);
+    arc_neighbor.push_back(u1);
+    arc_edge.push_back(e);
+    arc_edge.push_back(e);
+    arc_link[0].insert(arc_link[0].end(), {kNone, kNone});
+    arc_link[1].insert(arc_link[1].end(), {kNone, kNone});
+    attach(u1, s1, a);
+    attach(u2, s2, a + 1);
+  }
+
+  struct Pos {
+    int v;    // vertex arrived at
+    int sin;  // side of v's list holding the arc we arrived on
+  };
+
+  // One step along the external face: leave u through its side-sout end arc.
+  Pos face_step(int u, int sout) const {
+    const int a = v_link[sout][u];
+    LRDIP_CHECK(a != kNone);
+    const int x = arc_neighbor[a];
+    const int t = a ^ 1;
+    const int sin = (v_link[0][x] == t) ? 0 : 1;
+    return {x, sin};
+  }
+
+  // Splices bicomp root r2's arc list into real vertex w at w's side-win
+  // end. The walk that triggered this merge entered w on its win-end arc and
+  // continued into the child boundary in direction root_side; when the back
+  // edge closes that face, the corner between w's old win-end arc and the
+  // child's root_side end arc becomes interior, so the child's *other* end
+  // arc must become w's new win-side end. The root list is physically
+  // reversed when its side labels would otherwise disagree with w's; the
+  // orientation sign recorded for the final pass is the opposite of that
+  // reversal (see the comment at the sign assignment).
+  void merge_bicomp(int w, int win, int r2, int root_side) {
+    const int c2 = r2 - n;
+    scratch_arcs.clear();
+    for (int a = v_link[0][r2]; a != kNone; a = arc_link[1][a]) {
+      scratch_arcs.push_back(a);
+    }
+    LRDIP_CHECK(!scratch_arcs.empty());
+    if (root_side == win) {
+      for (int a : scratch_arcs) std::swap(arc_link[0][a], arc_link[1][a]);
+      std::swap(v_link[0][r2], v_link[1][r2]);
+    } else {
+      // The root list of a bicomp is stored mirror-reversed relative to its
+      // member vertices (the boundary walk leaves the root via side 0 but
+      // leaves members via side 1), so the members' orientation sign flips
+      // exactly when the root list is spliced withOUT a physical reversal.
+      flip_sign[c2] = -1;
+    }
+    for (int a : scratch_arcs) arc_neighbor[a ^ 1] = w;
+    const int c_far = v_link[win][r2];
+    const int c_near = v_link[1 - win][r2];
+    const int a_in = v_link[win][w];
+    if (a_in == kNone) {
+      v_link[win][w] = c_far;
+      v_link[1 - win][w] = c_near;
+    } else {
+      arc_link[win][a_in] = c_near;
+      arc_link[1 - win][c_near] = a_in;
+      v_link[win][w] = c_far;
+    }
+    v_link[0][r2] = v_link[1][r2] = kNone;
+    remove_child(c2);
+  }
+
+  // ---- Activity predicates for the current round ----
+  bool pertinent(int w) const {
+    return backedge_flag[w] == round || root_head[w] != kNone;
+  }
+  bool externally_active(int w) const {
+    if (least_ancestor[w] < round) return true;
+    const int c = child_head[w];
+    return c != kNone && lowpoint[c] < round;
+  }
+
+  void push_root(int host, int r, bool back) {
+    const int c = r - n;
+    if (root_head[host] == kNone) touched_hosts.push_back(host);
+    if (back) {
+      root_prev[c] = root_tail[host];
+      root_next[c] = kNone;
+      if (root_tail[host] != kNone) root_next[root_tail[host] - n] = r;
+      root_tail[host] = r;
+      if (root_head[host] == kNone) root_head[host] = r;
+    } else {
+      root_next[c] = root_head[host];
+      root_prev[c] = kNone;
+      if (root_head[host] != kNone) root_prev[root_head[host] - n] = r;
+      root_head[host] = r;
+      if (root_tail[host] == kNone) root_tail[host] = r;
+    }
+  }
+
+  int pop_root(int host) {
+    const int r = root_head[host];
+    LRDIP_CHECK(r != kNone);
+    const int c = r - n;
+    root_head[host] = root_next[c];
+    if (root_next[c] != kNone) {
+      root_prev[root_next[c] - n] = kNone;
+    } else {
+      root_tail[host] = kNone;
+    }
+    root_next[c] = root_prev[c] = kNone;
+    return r;
+  }
+
+  // ---- Walkup: record the chain of pertinent bicomp roots above w ----
+  void walkup(int w, EdgeId e) {
+    backedge_flag[w] = round;
+    backedge_id[w] = e;
+    ++pending;
+    if (visited[w] == round) return;  // chain above already recorded
+    visited[w] = round;
+    int z = w;
+    while (true) {
+      // Lockstep bidirectional boundary walk from z to this bicomp's root.
+      int r = kNone;
+      Pos cur[2] = {{z, 1}, {z, 0}};  // exit sides 0 and 1 respectively
+      int turn = 0;
+      while (r == kNone) {
+        Pos& p = cur[turn];
+        p = face_step(p.v, 1 - p.sin);
+        if (p.v >= n) {
+          r = p.v;
+          break;
+        }
+        if (visited[p.v] == round) return;  // another walkup covered the rest
+        visited[p.v] = round;
+        turn ^= 1;
+      }
+      if (visited[r] == round) return;
+      visited[r] = round;
+      const int c = r - n;
+      const int host = parent[c];
+      if (host == round) return;  // reached a root copy of the current vertex
+      push_root(host, r, /*back=*/lowpoint[c] < round);
+      z = host;
+      if (visited[z] == round) return;
+      visited[z] = round;
+    }
+  }
+
+  // First pertinent or externally active vertex along the boundary from r2
+  // in direction dir. kind: 0 internally active, 1 pertinent + externally
+  // active, 2 externally active only (stopping vertex), 3 none found.
+  struct Active {
+    Pos pos{kNone, 0};
+    int kind = 3;
+  };
+  Active find_active(int r2, int dir) const {
+    Pos p = face_step(r2, dir);
+    while (p.v != r2) {
+      const bool pert = pertinent(p.v);
+      const bool ext = externally_active(p.v);
+      if (pert || ext) {
+        return {p, pert ? (ext ? 1 : 0) : 2};
+      }
+      p = face_step(p.v, 1 - p.sin);
+    }
+    return {};
+  }
+
+  // ---- Walkdown from one root copy of the current vertex ----
+  void walkdown(int r) {
+    for (int vout = 0; vout < 2 && pending > 0; ++vout) {
+      merge_stack.clear();
+      Pos p = face_step(r, vout);
+      while (p.v != r) {
+        const int w = p.v;
+        const int win = p.sin;
+        if (backedge_flag[w] == round) {
+          while (!merge_stack.empty()) {
+            const MergeRec m = merge_stack.back();
+            merge_stack.pop_back();
+            merge_bicomp(m.host, m.host_side, m.root, m.root_side);
+          }
+          embed_edge(w, win, r, vout, backedge_id[w]);
+          backedge_flag[w] = kNone;
+          --pending;
+        }
+        if (root_head[w] != kNone) {
+          const int r2 = pop_root(w);
+          const Active a0 = find_active(r2, 0);
+          const Active a1 = find_active(r2, 1);
+          const Active& pick = (a1.kind < a0.kind) ? a1 : a0;
+          if (pick.kind >= 2) break;  // blocked: non-planarity surfaces later
+          const int root_side = (&pick == &a1) ? 1 : 0;
+          merge_stack.push_back({w, win, r2, root_side});
+          p = pick.pos;
+          continue;
+        }
+        if (externally_active(w)) break;  // stopping vertex
+        if (pending == 0 && merge_stack.empty()) break;
+        p = face_step(w, 1 - win);
+      }
+    }
+  }
+
+  // ---- Main loop ----
+  bool run() {
+    run_dfs();
+    arc_neighbor.reserve(2 * g.m());
+    arc_edge.reserve(2 * g.m());
+    arc_link[0].reserve(2 * g.m());
+    arc_link[1].reserve(2 * g.m());
+    v_link[0].assign(2 * n, kNone);
+    v_link[1].assign(2 * n, kNone);
+    visited.assign(2 * n, kNone);
+    backedge_flag.assign(n, kNone);
+    backedge_id.assign(n, kNone);
+    root_head.assign(n, kNone);
+    root_tail.assign(n, kNone);
+    root_next.assign(n, kNone);
+    root_prev.assign(n, kNone);
+    flip_sign.assign(n, 1);
+    for (int v = n - 1; v >= 0; --v) {
+      round = v;
+      pending = 0;
+      touched_hosts.clear();
+      for (int c = child_head[v]; c != kNone; c = child_next[c]) {
+        embed_edge(n + c, 0, c, 0, parent_edge[c]);
+      }
+      for (const Back& b : back_edges[v]) walkup(b.from, b.edge);
+      for (int c = child_head[v]; c != kNone; c = child_next[c]) {
+        if (visited[n + c] == v) walkdown(n + c);
+        if (pending == 0) break;
+      }
+      const bool ok = pending == 0;
+      // Pertinence is round-scoped; drop any roots a failed round stranded.
+      for (int host : touched_hosts) {
+        while (root_head[host] != kNone) pop_root(host);
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // ---- Planar wrap-up: consolidate, orient, extract the rotation ----
+  RotationSystem extract_rotation() {
+    for (int u = 0; u < n; ++u) {
+      if (parent[u] == kNone) continue;
+      const int r = n + u;
+      if (v_link[0][r] != kNone) merge_bicomp(parent[u], 1, r, 0);
+    }
+    std::vector<signed char> sign(n, 1);
+    for (int u = 0; u < n; ++u) {
+      sign[u] = parent[u] == kNone
+                    ? static_cast<signed char>(1)
+                    : static_cast<signed char>(sign[parent[u]] * flip_sign[u]);
+    }
+    std::vector<std::vector<EdgeId>> order(n);
+    for (int u = 0; u < n; ++u) {
+      auto& ord = order[vertex_of[u]];
+      for (int a = v_link[0][u]; a != kNone; a = arc_link[1][a]) {
+        ord.push_back(arc_edge[a]);
+      }
+      if (sign[u] < 0) std::reverse(ord.begin(), ord.end());
+    }
+    return RotationSystem(g, std::move(order));
+  }
+};
+
+bool bm_verdict(const Graph& g) {
+  if (g.n() >= 3 && g.m() > 3 * g.n() - 6) return false;
+  BmEngine eng(g);
+  return eng.run();
+}
+
+}  // namespace
+
+PlanarityResult boyer_myrvold(const Graph& g, BmOutput output) {
+  LRDIP_CHECK_MSG(g.is_simple(), "boyer_myrvold requires a simple graph");
+  PlanarityResult res;
+  if (g.n() >= 3 && g.m() > 3 * g.n() - 6) {
+    res.planar = false;
+  } else {
+    BmEngine eng(g);
+    res.planar = eng.run();
+    if (res.planar && output != BmOutput::kVerdictOnly) {
+      res.embedding = eng.extract_rotation();
+    }
+  }
+  if (!res.planar && output == BmOutput::kEmbeddingOrWitness) {
+    res.witness = kuratowski_witness(g);
+  }
+  return res;
+}
+
+bool boyer_myrvold_is_planar(const Graph& g) { return bm_verdict(g); }
+
+std::vector<EdgeId> kuratowski_witness(const Graph& g) {
+  if (bm_verdict(g)) return {};
+  std::vector<char> keep(g.m(), 1);
+  // Witness-preserving deletion: drop every edge whose removal keeps the
+  // graph non-planar. The fixpoint is edge-minimal non-planar, i.e. exactly
+  // a Kuratowski subdivision (plus isolated vertices, which we never list).
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    Graph h(g.n());
+    for (EdgeId f = 0; f < g.m(); ++f) {
+      if (keep[f] && f != e) {
+        const auto [a, b] = g.endpoints(f);
+        h.add_edge(a, b);
+      }
+    }
+    if (!bm_verdict(h)) keep[e] = 0;
+  }
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    if (keep[e]) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,112 @@
+#include "graph/kuratowski.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace lrdip {
+namespace {
+
+KuratowskiKind fail(std::string* why, const char* reason) {
+  if (why) *why = reason;
+  return KuratowskiKind::kInvalid;
+}
+
+}  // namespace
+
+KuratowskiKind classify_kuratowski(const Graph& g,
+                                   const std::vector<EdgeId>& witness,
+                                   std::string* why) {
+  if (witness.empty()) return fail(why, "witness is empty");
+  std::set<EdgeId> ids;
+  for (EdgeId e : witness) {
+    if (e < 0 || e >= g.m()) return fail(why, "edge id out of range");
+    if (!ids.insert(e).second) return fail(why, "duplicate edge id");
+  }
+  // Degrees and incidence lists of the witness subgraph (sparse: only the
+  // touched vertices matter).
+  std::map<NodeId, std::vector<EdgeId>> inc;
+  for (EdgeId e : witness) {
+    const auto [a, b] = g.endpoints(e);
+    inc[a].push_back(e);
+    inc[b].push_back(e);
+  }
+  std::vector<NodeId> branch;
+  for (const auto& [v, edges] : inc) {
+    const int d = static_cast<int>(edges.size());
+    if (d < 2 || d > 4) return fail(why, "subgraph degree not in {2, 3, 4}");
+    if (d > 2) branch.push_back(v);
+  }
+  const bool k5 = branch.size() == 5;
+  const bool k33 = branch.size() == 6;
+  if (!k5 && !k33) return fail(why, "branch vertex count is not 5 or 6");
+  const int want_deg = k5 ? 4 : 3;
+  for (NodeId b : branch) {
+    if (static_cast<int>(inc[b].size()) != want_deg) {
+      return fail(why, k5 ? "K5 branch vertex without degree 4"
+                          : "K3,3 branch vertex without degree 3");
+    }
+  }
+  // Contract the degree-2 paths: from each branch vertex walk every incident
+  // edge through degree-2 vertices to another branch vertex. Each edge is
+  // consumed exactly once, so the paths are internally disjoint by
+  // construction; leftover edges would mean a stray degree-2 cycle.
+  std::set<EdgeId> used;
+  std::set<std::pair<NodeId, NodeId>> links;
+  for (NodeId b : branch) {
+    for (EdgeId start : inc[b]) {
+      if (used.count(start)) continue;
+      NodeId cur = b;
+      EdgeId e = start;
+      while (true) {
+        if (!used.insert(e).second) return fail(why, "edge reused by a path");
+        const NodeId nxt = g.other_end(e, cur);
+        if (inc[nxt].size() != 2) {
+          cur = nxt;
+          break;
+        }
+        const auto& two = inc[nxt];
+        e = (two[0] == e) ? two[1] : two[0];
+        cur = nxt;
+      }
+      if (cur == b) return fail(why, "path returns to its own branch vertex");
+      const auto link = std::minmax(b, cur);
+      if (!links.insert({link.first, link.second}).second) {
+        return fail(why, "two paths join the same branch pair");
+      }
+    }
+  }
+  if (used.size() != witness.size()) {
+    return fail(why, "witness has edges unreachable from branch vertices");
+  }
+  if (k5) {
+    // 5 branch vertices of degree 4 with 10 distinct pairwise links is
+    // exactly K5.
+    if (links.size() != 10) return fail(why, "K5 needs all 10 branch pairs");
+    return KuratowskiKind::kK5;
+  }
+  // K3,3: bipartition one side as {branch[0]} + non-neighbors, then demand
+  // every link crosses and all 9 cross pairs are present.
+  std::set<NodeId> side_b;
+  for (const auto& [x, y] : links) {
+    if (x == branch[0]) side_b.insert(y);
+    if (y == branch[0]) side_b.insert(x);
+  }
+  if (side_b.size() != 3) return fail(why, "K3,3 branch vertex without 3 links");
+  int cross = 0;
+  for (const auto& [x, y] : links) {
+    if (side_b.count(x) == side_b.count(y)) {
+      return fail(why, "K3,3 link inside one side of the bipartition");
+    }
+    ++cross;
+  }
+  if (cross != 9) return fail(why, "K3,3 needs all 9 cross pairs");
+  return KuratowskiKind::kK33;
+}
+
+bool is_kuratowski_witness(const Graph& g, const std::vector<EdgeId>& witness) {
+  return classify_kuratowski(g, witness) != KuratowskiKind::kInvalid;
+}
+
+}  // namespace lrdip

@@ -1,0 +1,37 @@
+// Validation of Kuratowski witnesses.
+//
+// A witness is a set of edge ids of a host graph whose subgraph is a
+// subdivision of K5 or K3,3 — the certificate of non-planarity the
+// Boyer–Myrvold engine extracts (graph/boyer_myrvold.hpp) and the near-no
+// generators plant. The checker here is the ground truth the tests, the
+// fuzzers, and the CLI use to audit those witnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lrdip {
+
+enum class KuratowskiKind {
+  kInvalid,
+  kK5,   // subdivision of K5: 5 branch vertices of degree 4
+  kK33,  // subdivision of K3,3: 6 branch vertices of degree 3
+};
+
+/// Classifies `witness` (edge ids of g). Returns kInvalid unless the edges
+/// are distinct, in range, and their subgraph is exactly a K5 or K3,3
+/// subdivision: every vertex of the subgraph has degree 2, 3, or 4; the
+/// branch vertices have the right count; and contracting the degree-2 paths
+/// (which must be internally disjoint and connect distinct branch vertices)
+/// yields K5, or K3,3 with a consistent bipartition. When `why` is non-null
+/// it receives a short reason on failure.
+KuratowskiKind classify_kuratowski(const Graph& g,
+                                   const std::vector<EdgeId>& witness,
+                                   std::string* why = nullptr);
+
+/// True iff `witness` is a valid K5 or K3,3 subdivision in g.
+bool is_kuratowski_witness(const Graph& g, const std::vector<EdgeId>& witness);
+
+}  // namespace lrdip

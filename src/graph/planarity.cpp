@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/biconnected.hpp"
+#include "graph/boyer_myrvold.hpp"
 #include "graph/embedder.hpp"
 #include "support/check.hpp"
 
@@ -29,12 +30,9 @@ std::optional<std::vector<std::vector<EdgeId>>> embed_connected(const Graph& g) 
   return order;
 }
 
-}  // namespace
-
-bool is_planar(const Graph& g) { return planar_embedding(g).has_value(); }
-
-std::optional<RotationSystem> planar_embedding(const Graph& g) {
-  LRDIP_CHECK_MSG(g.is_simple(), "planar_embedding requires a simple graph");
+/// The original Demoucron path: components -> biconnected blocks ->
+/// face expansion -> rotation merge at cut vertices.
+std::optional<RotationSystem> demoucron_planar_embedding(const Graph& g) {
   if (g.n() >= 3 && g.m() > 3 * g.n() - 6) return std::nullopt;
 
   auto [comp, ncomp] = components(g);
@@ -58,6 +56,25 @@ std::optional<RotationSystem> planar_embedding(const Graph& g) {
     }
   }
   return RotationSystem(g, std::move(order));
+}
+
+}  // namespace
+
+bool is_planar(const Graph& g, PlanarityEngine engine) {
+  if (engine == PlanarityEngine::kBoyerMyrvold) {
+    // Verdict-only: no rotation system is ever materialized.
+    return boyer_myrvold_is_planar(g);
+  }
+  return demoucron_planar_embedding(g).has_value();
+}
+
+std::optional<RotationSystem> planar_embedding(const Graph& g,
+                                               PlanarityEngine engine) {
+  LRDIP_CHECK_MSG(g.is_simple(), "planar_embedding requires a simple graph");
+  if (engine == PlanarityEngine::kBoyerMyrvold) {
+    return boyer_myrvold(g, BmOutput::kEmbedding).embedding;
+  }
+  return demoucron_planar_embedding(g);
 }
 
 }  // namespace lrdip

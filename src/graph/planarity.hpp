@@ -1,6 +1,11 @@
-// General-graph planarity testing and embedding, built on the biconnected
-// embedder: each block is embedded separately and the rotations are merged at
-// cut vertices (blocks occupy disjoint angular sectors around a cut vertex).
+// General-graph planarity testing and embedding.
+//
+// Two engines sit behind one seam:
+//  * kBoyerMyrvold (default) — the O(n + m) edge-addition engine from
+//    src/graph/boyer_myrvold.*. Verdicts never materialize rotations, and
+//    embeddings come straight out of the engine's relative arc lists.
+//  * kDemoucron — the O(n * m) face-expansion embedder retained as an
+//    independent cross-check oracle (differential fuzz, CI sanitizer legs).
 #pragma once
 
 #include <optional>
@@ -10,11 +15,20 @@
 
 namespace lrdip {
 
-/// True iff g (connected or not) is planar.
-bool is_planar(const Graph& g);
+/// Which planarity engine answers the query.
+enum class PlanarityEngine {
+  kBoyerMyrvold,
+  kDemoucron,
+};
+
+/// True iff g (connected or not) is planar. The default engine answers
+/// without building any rotation system.
+bool is_planar(const Graph& g,
+               PlanarityEngine engine = PlanarityEngine::kBoyerMyrvold);
 
 /// A genus-0 rotation system for g, or nullopt if g is non-planar.
 /// g must be simple.
-std::optional<RotationSystem> planar_embedding(const Graph& g);
+std::optional<RotationSystem> planar_embedding(
+    const Graph& g, PlanarityEngine engine = PlanarityEngine::kBoyerMyrvold);
 
 }  // namespace lrdip

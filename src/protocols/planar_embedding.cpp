@@ -301,7 +301,11 @@ Outcome run_planar_embedding(const PlanarEmbeddingInstance& inst, const PeParams
 StageResult planarity_stage(const PlanarityInstance& inst, const PeParams& params, Rng& rng,
                             FaultInjector* faults) {
   const Graph& g = *inst.graph;
-  // The prover picks (or fabricates) a rotation system.
+  // The prover picks (or fabricates) a rotation system. When no certificate
+  // is supplied, the honest prover's preprocessing is the O(n+m)
+  // Boyer-Myrvold engine (the default behind planar_embedding); on a
+  // non-planar instance it yields nothing and the prover ships a doomed
+  // adjacency-order rotation that the embedding stage will catch.
   RotationSystem rot;
   if (inst.certificate != nullptr) {
     rot = *inst.certificate;

@@ -99,6 +99,13 @@ BoundInstance hold(std::shared_ptr<Holder> h) {
   return BoundInstance(std::move(h), view);
 }
 
+/// Same, but attaching the generator's obstruction witness (edge ids).
+template <typename Holder>
+BoundInstance hold_with_witness(std::shared_ptr<Holder> h, std::vector<EdgeId> witness) {
+  const Instance view = make_instance(h->inst);
+  return BoundInstance(std::move(h), view, std::move(witness));
+}
+
 BoundInstance bind_lr(const GraphFile& gf) {
   LRDIP_CHECK_MSG(gf.order.has_value(), "lr-sorting needs an 'order' section");
   LRDIP_CHECK_MSG(gf.tails.has_value(), "lr-sorting needs a 'tails' section");
@@ -287,10 +294,13 @@ BoundInstance near_no_pe(int n, Rng& rng) {
 }
 
 BoundInstance near_no_pl(int n, Rng& rng) {
-  // Planted K5 / K3,3 subdivision in a planar host. The adjacency-order
-  // rotation ships as the doomed certificate: with certificate == nullptr the
-  // stage would run the centralized embedder on a NON-planar graph every
-  // execution, which the soundness sweeps cannot afford.
+  // Planted K5 / K3,3 subdivision in a planar host, with the minimal
+  // Kuratowski witness extracted by the Boyer–Myrvold engine attached for the
+  // adversary (strategic provers focus their edits on the obstruction). The
+  // adjacency-order rotation ships as the doomed certificate: with
+  // certificate == nullptr the stage would run the centralized embedder on a
+  // NON-planar graph every execution, which the soundness sweeps cannot
+  // afford.
   struct H {
     Graph gen;
     RotationSystem rot;
@@ -298,13 +308,11 @@ BoundInstance near_no_pl(int n, Rng& rng) {
 
     H(Graph g, RotationSystem r) : gen(std::move(g)), rot(std::move(r)) {}
   };
-  PlanarInstance host = random_planar(n, 0.3, rng);
-  const Graph kernel = rng.coin() ? complete_graph(5) : complete_bipartite(3, 3);
-  Graph g = plant_subdivision(host.graph, kernel, /*subdiv=*/2, rng);
-  RotationSystem rot = RotationSystem::from_adjacency(g);
-  auto h = std::make_shared<H>(std::move(g), std::move(rot));
+  PlantedWitnessInstance planted = planted_kuratowski_no(n, /*subdiv=*/2, rng);
+  RotationSystem rot = RotationSystem::from_adjacency(planted.graph);
+  auto h = std::make_shared<H>(std::move(planted.graph), std::move(rot));
   h->inst = {&h->gen, &h->rot};
-  return hold(std::move(h));
+  return hold_with_witness(std::move(h), std::move(planted.witness));
 }
 
 BoundInstance near_no_sp(int n, Rng& rng) {

@@ -94,14 +94,24 @@ class BoundInstance {
  public:
   BoundInstance(std::shared_ptr<const void> storage, Instance view)
       : storage_(std::move(storage)), view_(view) {}
+  /// Near-no generators that know WHY their instance leaves the class attach
+  /// the obstruction as edge ids (e.g. the planted Kuratowski subdivision for
+  /// planarity). The protocol never sees it — it is adversary-side knowledge
+  /// that strategic provers use to focus their attacks.
+  BoundInstance(std::shared_ptr<const void> storage, Instance view,
+                std::vector<EdgeId> witness)
+      : storage_(std::move(storage)), view_(view), witness_(std::move(witness)) {}
 
   const Instance& view() const { return view_; }
   Task task() const { return view_.task(); }
   const Graph& graph() const { return view_.graph(); }
+  /// Edge ids of the planted obstruction; empty when unknown / not planted.
+  const std::vector<EdgeId>& witness() const { return witness_; }
 
  private:
   std::shared_ptr<const void> storage_;
   Instance view_;
+  std::vector<EdgeId> witness_;
 };
 
 /// One registry row. `name` is the canonical identifier everywhere: the CLI

@@ -4,8 +4,22 @@
 // honest yes-instance and the near-yes no-instance, and require the verdicts
 // to match membership. Bounded to a few seconds; the seed space is
 // parameterized so failures reproduce exactly.
+// A second sweep runs the two centralized planarity engines — Boyer–Myrvold
+// (the default) and Demoucron (the retained oracle) — against each other on
+// random graphs across a density ramp: verdicts must agree, planar verdicts
+// must come with genus-0 rotations from BOTH engines, and non-planar verdicts
+// must come with a validating Kuratowski witness. This is the differential
+// harness the sanitizer CI legs run (they execute the full ctest suite).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "graph/boyer_myrvold.hpp"
+#include "graph/kuratowski.hpp"
+#include "graph/planarity.hpp"
+#include "graph/rotation.hpp"
 #include "protocols/registry.hpp"
 #include "support/rng.hpp"
 #include "test_instances.hpp"
@@ -35,6 +49,55 @@ TEST_P(FuzzSweep, HonestVerdictsMatchMembershipAcrossRegistry) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 6));
+
+/// Genus-0 check that tolerates disconnected graphs: faces are traced over
+/// darts, so Euler's sum wants 2 per edged component and 1 per isolated node.
+bool genus0(const Graph& g, const RotationSystem& rot) {
+  auto [comp, ncomp] = components(g);
+  std::vector<char> has_edge(static_cast<std::size_t>(ncomp), 0);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    has_edge[static_cast<std::size_t>(comp[g.endpoints(e).first])] = 1;
+  }
+  int want = 0;
+  for (int c = 0; c < ncomp; ++c) want += has_edge[static_cast<std::size_t>(c)] ? 2 : 1;
+  return g.n() - g.m() + count_faces(g, rot) == want;
+}
+
+class EngineDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDiff, BoyerMyrvoldAgreesWithDemoucronAcrossDensities) {
+  Rng rng(0xd1ff + GetParam());
+  for (int density = 2; density <= 12; ++density) {  // avg degree = density / 2
+    for (int rep = 0; rep < 12; ++rep) {
+      const int n = 6 + static_cast<int>(rng.uniform(40));
+      const int target_m = n * density / 4;
+      Graph g(n);
+      std::set<std::pair<NodeId, NodeId>> seen;
+      for (int t = 0; t < 3 * target_m && g.m() < target_m; ++t) {
+        auto a = static_cast<NodeId>(rng.uniform(n));
+        auto b = static_cast<NodeId>(rng.uniform(n));
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (seen.emplace(a, b).second) g.add_edge(a, b);
+      }
+      SCOPED_TRACE(::testing::Message() << "density=" << density << " rep=" << rep
+                                        << " n=" << n << " m=" << g.m());
+      const auto oracle = planar_embedding(g, PlanarityEngine::kDemoucron);
+      const PlanarityResult res = boyer_myrvold(g, BmOutput::kEmbeddingOrWitness);
+      ASSERT_EQ(oracle.has_value(), res.planar) << "verdict mismatch";
+      EXPECT_EQ(is_planar(g), res.planar) << "verdict-only path disagrees";
+      if (res.planar) {
+        ASSERT_TRUE(res.embedding.has_value());
+        EXPECT_TRUE(genus0(g, *res.embedding)) << "BM rotation is not genus 0";
+        EXPECT_TRUE(genus0(g, *oracle)) << "Demoucron rotation is not genus 0";
+      } else {
+        EXPECT_TRUE(is_kuratowski_witness(g, res.witness));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDiff, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace lrdip

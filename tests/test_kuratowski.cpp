@@ -1,0 +1,148 @@
+// Kuratowski witness validator (graph/kuratowski.hpp) and the extraction
+// pipeline (graph/boyer_myrvold.hpp): exact kernels classify, subdivisions
+// classify, every malformed variation is rejected with a reason, and fuzzing
+// over random near-planar graphs never produces an invalid or non-minimal
+// witness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "graph/boyer_myrvold.hpp"
+#include "graph/kuratowski.hpp"
+#include "graph/planarity.hpp"
+#include "support/rng.hpp"
+
+namespace lrdip {
+namespace {
+
+std::vector<EdgeId> all_edges(const Graph& g) {
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.m()));
+  for (EdgeId e = 0; e < g.m(); ++e) ids[static_cast<std::size_t>(e)] = e;
+  return ids;
+}
+
+TEST(Kuratowski, ClassifiesExactKernels) {
+  const Graph k5 = complete_graph(5);
+  EXPECT_EQ(classify_kuratowski(k5, all_edges(k5)), KuratowskiKind::kK5);
+
+  const Graph k33 = complete_bipartite(3, 3);
+  EXPECT_EQ(classify_kuratowski(k33, all_edges(k33)), KuratowskiKind::kK33);
+}
+
+TEST(Kuratowski, ClassifiesSubdivisionsPlantedInAHost) {
+  Rng rng(7);
+  for (int subdiv : {1, 2, 5}) {
+    const Graph host = random_planar(40, 0.3, rng).graph;
+    const Graph g5 = plant_subdivision(host, complete_graph(5), subdiv, rng);
+    // The gadget's own edges are the planted witness; the stitch edge (the
+    // last one added) is not part of it.
+    std::vector<EdgeId> w5;
+    for (EdgeId e = host.m(); e < g5.m() - 1; ++e) w5.push_back(e);
+    EXPECT_EQ(classify_kuratowski(g5, w5), KuratowskiKind::kK5) << "subdiv=" << subdiv;
+
+    const Graph g33 = plant_subdivision(host, complete_bipartite(3, 3), subdiv, rng);
+    std::vector<EdgeId> w33;
+    for (EdgeId e = host.m(); e < g33.m() - 1; ++e) w33.push_back(e);
+    EXPECT_EQ(classify_kuratowski(g33, w33), KuratowskiKind::kK33) << "subdiv=" << subdiv;
+  }
+}
+
+TEST(Kuratowski, RejectsMalformedWitnesses) {
+  const Graph k5 = complete_graph(5);
+  std::string why;
+
+  EXPECT_EQ(classify_kuratowski(k5, {}, &why), KuratowskiKind::kInvalid);
+  EXPECT_FALSE(why.empty());
+
+  EXPECT_EQ(classify_kuratowski(k5, {0, 1, 99}, &why), KuratowskiKind::kInvalid);
+  EXPECT_EQ(classify_kuratowski(k5, {0, 0, 1}, &why), KuratowskiKind::kInvalid);
+
+  // Dropping any edge of the kernel breaks it.
+  for (EdgeId drop = 0; drop < k5.m(); ++drop) {
+    std::vector<EdgeId> partial;
+    for (EdgeId e = 0; e < k5.m(); ++e) {
+      if (e != drop) partial.push_back(e);
+    }
+    EXPECT_EQ(classify_kuratowski(k5, partial), KuratowskiKind::kInvalid) << drop;
+  }
+
+  // A plain cycle has the right degrees but no branch vertices.
+  const Graph c6 = cycle_graph(6);
+  EXPECT_EQ(classify_kuratowski(c6, all_edges(c6), &why), KuratowskiKind::kInvalid);
+
+  // K4: branch count 4 is neither 5 nor 6.
+  const Graph k4 = complete_graph(4);
+  EXPECT_EQ(classify_kuratowski(k4, all_edges(k4)), KuratowskiKind::kInvalid);
+
+  // A witness plus a disjoint stray cycle: unreachable edges must fail.
+  Graph g = complete_graph(5);
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  std::vector<EdgeId> w = all_edges(g);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  w.push_back(g.m() - 3);
+  w.push_back(g.m() - 2);
+  w.push_back(g.m() - 1);
+  EXPECT_EQ(classify_kuratowski(g, w, &why), KuratowskiKind::kInvalid);
+}
+
+TEST(Kuratowski, ExtractionReturnsEmptyOnPlanarGraphs) {
+  Rng rng(11);
+  for (int n : {8, 40, 160}) {
+    const Graph g = random_planar(n, 0.4, rng).graph;
+    EXPECT_TRUE(kuratowski_witness(g).empty()) << n;
+  }
+}
+
+// Fuzz over random near-planar graphs (planar skeleton plus a few chords):
+// every extracted witness validates, stays inside the graph's edge set, and
+// is minimal — removing ANY witness edge breaks the subdivision.
+TEST(Kuratowski, FuzzExtractedWitnessesValidateAndAreMinimal) {
+  Rng rng(0xca7);
+  int nonplanar = 0;
+  for (int rep = 0; rep < 120; ++rep) {
+    const int n = 12 + static_cast<int>(rng.uniform(60));
+    Graph g = random_planar(n, 0.2, rng).graph;
+    const int extra = 1 + static_cast<int>(rng.uniform(5));
+    for (int t = 0; t < extra; ++t) {
+      const auto a = static_cast<NodeId>(rng.uniform(g.n()));
+      const auto b = static_cast<NodeId>(rng.uniform(g.n()));
+      if (a != b && g.find_edge(a, b) == -1) g.add_edge(a, b);
+    }
+    const std::vector<EdgeId> w = kuratowski_witness(g);
+    if (w.empty()) {
+      EXPECT_TRUE(is_planar(g)) << "empty witness on a non-planar graph";
+      continue;
+    }
+    ++nonplanar;
+    EXPECT_FALSE(is_planar(g));
+    std::string why;
+    ASSERT_NE(classify_kuratowski(g, w, &why), KuratowskiKind::kInvalid)
+        << "rep=" << rep << ": " << why;
+    for (std::size_t drop = 0; drop < w.size(); ++drop) {
+      std::vector<EdgeId> sub = w;
+      sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+      EXPECT_EQ(classify_kuratowski(g, sub), KuratowskiKind::kInvalid)
+          << "rep=" << rep << " witness not minimal at drop=" << drop;
+    }
+  }
+  EXPECT_GT(nonplanar, 20) << "fuzz corpus degenerated to planar graphs";
+}
+
+TEST(Kuratowski, PlantedNearNoGeneratorExposesItsWitness) {
+  Rng rng(23);
+  for (int rep = 0; rep < 8; ++rep) {
+    const PlantedWitnessInstance inst = planted_kuratowski_no(64, 2, rng);
+    EXPECT_FALSE(is_planar(inst.graph));
+    const KuratowskiKind kind = classify_kuratowski(inst.graph, inst.witness);
+    EXPECT_TRUE(kind == KuratowskiKind::kK5 || kind == KuratowskiKind::kK33);
+  }
+}
+
+}  // namespace
+}  // namespace lrdip
