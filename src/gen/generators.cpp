@@ -627,6 +627,15 @@ std::vector<int> lr_path_positions(const LrInstance& inst) {
   return pos;
 }
 
+std::vector<EdgeId> lr_flipped_edges(const LrInstance& inst) {
+  LRDIP_CHECK(static_cast<int>(inst.forward.size()) == inst.graph.m());
+  std::vector<EdgeId> flipped;
+  for (EdgeId e = 0; e < inst.graph.m(); ++e) {
+    if (!inst.forward[e]) flipped.push_back(e);
+  }
+  return flipped;
+}
+
 std::vector<NodeId> lr_claimed_tails(const LrInstance& inst) {
   LRDIP_CHECK(static_cast<int>(inst.forward.size()) == inst.graph.m());
   const std::vector<int> pos = lr_path_positions(inst);

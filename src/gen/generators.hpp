@@ -222,4 +222,9 @@ std::vector<int> lr_path_positions(const LrInstance& inst);
 /// hoisted here so benchmarks, tests, and examples share one copy.
 std::vector<NodeId> lr_claimed_tails(const LrInstance& inst);
 
+/// Edge ids random_lr_no flipped (the instance's obstruction witness). Read
+/// straight off `forward` — no search — so near-no adapters can attach it to
+/// BoundInstance for the strategic provers at zero per-run cost.
+std::vector<EdgeId> lr_flipped_edges(const LrInstance& inst);
+
 }  // namespace lrdip

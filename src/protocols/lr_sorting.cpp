@@ -70,12 +70,15 @@ PathLocal path_locals(const LrSortingInstance& inst) {
   return pl;
 }
 
+}  // namespace
+
 /// Trivial one-round protocol for paths too short for the block machinery,
 /// and the O(log n) PLS baseline: label every node with its position. The
 /// labels go through a store so the fault seam covers the degenerate path
 /// too, and the +-1 chain checks the preamble alludes to are explicit — the
-/// decision runs on decoded positions, not the ground truth.
-StageResult trivial_position_protocol(const LrSortingInstance& inst, FaultInjector* faults) {
+/// decision runs on decoded positions, not the ground truth. Exported: the
+/// log-star protocol shares it as its short-path fallback and PLS baseline.
+StageResult lr_trivial_position_stage(const LrSortingInstance& inst, FaultInjector* faults) {
   const obs::ScopedTimer timer("trivial_position_protocol");
   const Graph& g = *inst.graph;
   const int n = g.n();
@@ -125,6 +128,8 @@ StageResult trivial_position_protocol(const LrSortingInstance& inst, FaultInject
   }
   return out;
 }
+
+namespace {
 
 using Commit = std::pair<int, std::uint64_t>;
 
@@ -201,7 +206,7 @@ StageResult lr_sorting_stage(const LrSortingInstance& inst, const LrParams& para
   const PathLocal pl = path_locals(inst);
 
   const int B = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
-  if (n < 2 * B) return trivial_position_protocol(inst, faults);
+  if (n < 2 * B) return lr_trivial_position_stage(inst, faults);
 
   // Fields. p > max(log^c n, 2B + 2); p' > p * B.
   const double logn = std::log2(static_cast<double>(n));
@@ -800,7 +805,7 @@ Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rn
 
 Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst) {
   const obs::RunScope run("lr-sorting-baseline-pls", inst.graph->n(), inst.graph->m());
-  return finalize(trivial_position_protocol(inst, nullptr));
+  return finalize(lr_trivial_position_stage(inst, nullptr));
 }
 
 }  // namespace lrdip

@@ -101,4 +101,11 @@ Outcome run_lr_sorting(const LrSortingInstance& inst, const LrParams& params, Rn
 /// comparison point for the separation experiment.
 Outcome run_lr_sorting_baseline_pls(const LrSortingInstance& inst);
 
+/// The one-round position-labeling stage behind the baseline (and the short-
+/// path fallback of both LR-sorting and the log-star protocol): every node
+/// labels its path position; the decision checks the decoded +-1 chain and
+/// compares decoded positions per non-path edge.
+StageResult lr_trivial_position_stage(const LrSortingInstance& inst,
+                                      FaultInjector* faults = nullptr);
+
 }  // namespace lrdip

@@ -60,6 +60,12 @@ Outcome run_tw(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector
   return finalize(treewidth2_stage(inst, {opt.c}, rng, faults));
 }
 
+Outcome run_ls(const Instance& i, const RunOptions& opt, Rng& rng, FaultInjector* faults) {
+  const LogStarPlanarityInstance& inst = *std::get<const LogStarPlanarityInstance*>(i.ref);
+  const obs::RunScope run("log-star-planarity", inst.graph->n(), inst.graph->m());
+  return finalize(log_star_planarity_stage(inst, {opt.c}, rng, faults));
+}
+
 // ------------------------------------------------------------ PLS baselines
 
 Outcome pls_lr(const Instance& i) {
@@ -80,6 +86,9 @@ Outcome pls_sp(const Instance& i) {
 Outcome pls_tw(const Instance& i) {
   return run_treewidth2_baseline_pls(*std::get<const Treewidth2Instance*>(i.ref));
 }
+Outcome pls_ls(const Instance& i) {
+  return run_log_star_planarity_baseline_pls(*std::get<const LogStarPlanarityInstance*>(i.ref));
+}
 
 // Textbook one-round PLS label widths (the E-SEP comparison column).
 int bits_lr(int n) { return ceil_log2(static_cast<std::uint64_t>(n)); }
@@ -89,6 +98,7 @@ int bits_pe(int n) { return 3 * ceil_log2(static_cast<std::uint64_t>(n)); }
 int bits_pl(int n) { return 6 * ceil_log2(static_cast<std::uint64_t>(n)); }
 int bits_sp(int n) { return 4 * ceil_log2(static_cast<std::uint64_t>(n)); }
 int bits_tw(int n) { return 4 * ceil_log2(static_cast<std::uint64_t>(n)); }
+int bits_ls(int n) { return ceil_log2(static_cast<std::uint64_t>(n)); }
 
 // -------------------------------------------------------- instance adapters
 
@@ -156,6 +166,15 @@ BoundInstance bind_tw(const GraphFile& gf) {
     Treewidth2Instance inst;
   };
   return hold(std::make_shared<H>(H{{&gf.graph, std::nullopt}}));
+}
+
+BoundInstance bind_ls(const GraphFile& gf) {
+  LRDIP_CHECK_MSG(gf.order.has_value(), "log-star-planarity needs an 'order' section");
+  LRDIP_CHECK_MSG(gf.tails.has_value(), "log-star-planarity needs a 'tails' section");
+  struct H {
+    LogStarPlanarityInstance inst;
+  };
+  return hold(std::make_shared<H>(H{{&gf.graph, *gf.order, *gf.tails, {}}}));
 }
 
 // Yes-instance generators. Families, parameters, and per-size rng usage match
@@ -237,6 +256,23 @@ BoundInstance yes_tw(int n, Rng& rng) {
   auto h = std::make_shared<H>();
   h->gen = random_treewidth2_with_cert(n, std::max(1, n / 64), rng);
   h->inst = {&h->gen.graph, h->gen.block_ears};
+  return hold(std::move(h));
+}
+
+// The log-star task runs on the same LR family (same generators, same
+// certificate payload), so its budgets and soundness rows are directly
+// comparable with lr-sorting's on identical seed-pinned instances — the
+// separation experiment's whole point.
+
+BoundInstance yes_ls(int n, Rng& rng) {
+  struct H {
+    LrInstance gen;
+    LogStarPlanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_lr_yes(n, 1.0, rng);
+  h->inst = {&h->gen.graph, h->gen.order, lr_claimed_tails(h->gen),
+             accountable_endpoints(h->gen.graph)};
   return hold(std::move(h));
 }
 
@@ -347,6 +383,24 @@ BoundInstance near_no_tw(int n, Rng& rng) {
   return hold(std::move(h));
 }
 
+BoundInstance near_no_ls(int n, Rng& rng) {
+  // random_lr_no replays random_lr_yes's draws before flipping (same-seed
+  // pairing for the ReplayProver), and the flipped arcs ARE the obstruction —
+  // lr_flipped_edges reads them off `forward` with no centralized search (the
+  // PR 5 witness-caching note), so the greedy prover gets its focus_edges for
+  // free on every estimator run.
+  struct H {
+    LrInstance gen;
+    LogStarPlanarityInstance inst;
+  };
+  auto h = std::make_shared<H>();
+  h->gen = random_lr_no(n, 1.0, /*flips=*/1, rng);
+  h->inst = {&h->gen.graph, h->gen.order, lr_claimed_tails(h->gen),
+             accountable_endpoints(h->gen.graph)};
+  std::vector<EdgeId> witness = lr_flipped_edges(h->gen);
+  return hold_with_witness(std::move(h), std::move(witness));
+}
+
 // ---------------------------------------------------------------- the table
 
 constexpr std::array<ProtocolSpec, kNumTasks> kRegistry{{
@@ -364,6 +418,9 @@ constexpr std::array<ProtocolSpec, kNumTasks> kRegistry{{
      bind_sp, yes_sp, near_no_sp},
     {Task::treewidth2, "treewidth2", "Thm 1.7", 0, 0, run_tw, pls_tw, bits_tw, bind_tw,
      yes_tw, near_no_tw},
+    {Task::log_star_planarity, "log-star-planarity", "GP25b Thm 1.1",
+     kCertOrder | kCertTails, kCertOrder | kCertTails, run_ls, pls_ls, bits_ls, bind_ls,
+     yes_ls, near_no_ls},
 }};
 
 }  // namespace

@@ -1,4 +1,5 @@
-// The protocol registry: one table for the paper's seven verification tasks.
+// The protocol registry: one table for the eight verification tasks — the
+// source paper's seven plus the successor paper's log-star protocol.
 //
 // Theorems 1.2–1.7 plus LR-sorting (Lemma 4.1/4.2) used to exist only as
 // seven free functions with per-task instance structs, and every consumer —
@@ -12,7 +13,7 @@
 //
 // Instances stay per-task structs — their certificate payloads genuinely
 // differ — but a borrowed, type-erased `Instance` view lets generic code
-// (the CLI, `Runtime::run_batch`, sweeps) hold and dispatch any of the seven
+// (the CLI, `Runtime::run_batch`, sweeps) hold and dispatch any of the eight
 // without a copy. The variant's alternative order IS the Task order, so the
 // tag is the variant index.
 #pragma once
@@ -26,6 +27,7 @@
 
 #include "dip/store.hpp"
 #include "graph/io.hpp"
+#include "protocols/log_star_planarity.hpp"
 #include "protocols/lr_sorting.hpp"
 #include "protocols/outerplanarity.hpp"
 #include "protocols/path_outerplanarity.hpp"
@@ -37,7 +39,7 @@ namespace lrdip {
 
 class FaultInjector;
 
-/// The seven verification tasks, in registry (and budget-file) order.
+/// The eight verification tasks, in registry (and budget-file) order.
 enum class Task : int {
   lr_sorting = 0,
   path_outerplanar,
@@ -46,8 +48,9 @@ enum class Task : int {
   planarity,
   series_parallel,
   treewidth2,
+  log_star_planarity,
 };
-inline constexpr int kNumTasks = 7;
+inline constexpr int kNumTasks = 8;
 
 /// Borrowed view of one task instance. Alternative order matches Task, so
 /// `ref.index()` is the task tag; the pointee must outlive the view.
@@ -55,7 +58,7 @@ using InstanceRef =
     std::variant<const LrSortingInstance*, const PathOuterplanarityInstance*,
                  const OuterplanarityInstance*, const PlanarEmbeddingInstance*,
                  const PlanarityInstance*, const SeriesParallelInstance*,
-                 const Treewidth2Instance*>;
+                 const Treewidth2Instance*, const LogStarPlanarityInstance*>;
 
 struct Instance {
   InstanceRef ref;
@@ -71,6 +74,7 @@ inline Instance make_instance(const PlanarEmbeddingInstance& i) { return {Instan
 inline Instance make_instance(const PlanarityInstance& i) { return {InstanceRef{&i}}; }
 inline Instance make_instance(const SeriesParallelInstance& i) { return {InstanceRef{&i}}; }
 inline Instance make_instance(const Treewidth2Instance& i) { return {InstanceRef{&i}}; }
+inline Instance make_instance(const LogStarPlanarityInstance& i) { return {InstanceRef{&i}}; }
 
 /// Knobs shared by every task (each per-task param struct is exactly {c}).
 struct RunOptions {

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "adversary/prover.hpp"
+#include "dip/parallel.hpp"
 #include "protocols/registry.hpp"
 #include "test_instances.hpp"
 
@@ -41,6 +42,7 @@ constexpr Golden kGolden[kNumTasks] = {
     {Task::planarity, 0x335bd5366f40ba15ULL},
     {Task::series_parallel, 0xe76b25d22a8a2e87ULL},
     {Task::treewidth2, 0xefd61522aa5d6b30ULL},
+    {Task::log_star_planarity, 0xd53dfb9cddcdf089ULL},
 };
 
 TEST(GoldenTranscript, HonestLabelStreamDigestsArePinned) {
@@ -55,6 +57,30 @@ TEST(GoldenTranscript, HonestLabelStreamDigestsArePinned) {
     EXPECT_EQ(actual, g.digest) << "transcript digest changed for " << task_name(g.task)
                                 << "; if intentional, repin to 0x" << std::hex << actual;
   }
+}
+
+TEST(GoldenTranscript, LogStarDigestIsThreadCountInvariant) {
+  // The log-star decode runs under parallel_for and folds per-level chain
+  // checks into per-node reasons; none of that may reorder what the PROVER
+  // put on the wire. Same pinned instance, 1 vs 2 vs 8 decode threads, and
+  // the label stream must be bit-identical — not just the verdict.
+  std::uint64_t reference = 0;
+  for (const int threads : {1, 2, 8}) {
+    set_parallel_threads(threads);
+    const BoundInstance yes = fixtures::yes_instance(Task::log_star_planarity, kN, kGenSeed);
+    adversary::TranscriptRecorder recorder;
+    Rng rng(kCoinSeed);
+    const Outcome o = run_protocol(yes.view(), {3}, rng, &recorder);
+    EXPECT_TRUE(o.accepted);
+    const std::uint64_t digest = recorder.transcript().digest();
+    if (threads == 1) {
+      reference = digest;
+      EXPECT_EQ(digest, 0xd53dfb9cddcdf089ULL);  // and it is THE pinned stream
+    } else {
+      EXPECT_EQ(digest, reference) << "label stream moved at " << threads << " threads";
+    }
+  }
+  set_parallel_threads(0);
 }
 
 TEST(GoldenTranscript, DigestReactsToAnyFieldMutation) {

@@ -92,7 +92,11 @@ TEST(Registry, MakeYesInstancesAccept) {
     const BoundInstance bi = spec.make_yes(96, gen_rng);
     const Outcome o = spec.run(bi.view(), {3}, run_rng, nullptr);
     EXPECT_TRUE(o.accepted) << spec.name << ": " << reject_reason_name(o.reject_reason);
-    EXPECT_EQ(o.rounds, 5) << spec.name;
+    // Every source-paper task is the 5-round protocol; the log-star task's
+    // round count tracks its recursion tower (2L+1 — still 5 at n=96, where
+    // the tower is two levels deep).
+    const int want = spec.task == Task::log_star_planarity ? log_star_rounds(96) : 5;
+    EXPECT_EQ(o.rounds, want) << spec.name;
   }
 }
 
@@ -102,8 +106,10 @@ TEST(Registry, BindRejectsMissingRequiredSections) {
   gf.graph.add_edge(0, 1);
   gf.graph.add_edge(1, 2);
   gf.graph.add_edge(2, 3);
-  // lr-sorting insists on order + tails; embedding on rotation.
+  // lr-sorting and log-star-planarity insist on order + tails; embedding on
+  // rotation.
   EXPECT_THROW(bind_instance(Task::lr_sorting, gf), InvariantError);
+  EXPECT_THROW(bind_instance(Task::log_star_planarity, gf), InvariantError);
   EXPECT_THROW(bind_instance(Task::embedding, gf), InvariantError);
   // The certificate-optional tasks bind without any section.
   for (const Task t : {Task::path_outerplanar, Task::outerplanar, Task::planarity,
@@ -111,6 +117,24 @@ TEST(Registry, BindRejectsMissingRequiredSections) {
     const BoundInstance bi = bind_instance(t, gf);
     EXPECT_EQ(bi.task(), t);
     EXPECT_EQ(bi.graph().n(), 4);
+  }
+}
+
+// The requires_certs bitmask is a CONTRACT, not documentation: a task that
+// declares sections must refuse a bare graph, and a task that declares none
+// must bind it. Registry-driven so an added task cannot dodge the check.
+TEST(Registry, CertContractMatchesBindBehavior) {
+  GraphFile gf;
+  gf.graph = Graph(4);
+  gf.graph.add_edge(0, 1);
+  gf.graph.add_edge(1, 2);
+  gf.graph.add_edge(2, 3);
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    if (spec.requires_certs != 0) {
+      EXPECT_THROW(bind_instance(spec.task, gf), InvariantError) << spec.name;
+    } else {
+      EXPECT_EQ(bind_instance(spec.task, gf).task(), spec.task) << spec.name;
+    }
   }
 }
 

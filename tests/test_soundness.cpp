@@ -85,7 +85,8 @@ TEST(Soundness, EstimatorIsBitIdenticalAcrossThreadCounts) {
     const Runtime rt;
     const SoundnessEstimator est(rt, small_options(8));
     std::vector<int> c;
-    for (const Task task : {Task::lr_sorting, Task::embedding, Task::series_parallel}) {
+    for (const Task task : {Task::lr_sorting, Task::embedding, Task::series_parallel,
+                            Task::log_star_planarity}) {
       for (const Strategy s : strategies) {
         const SoundnessPoint p = est.estimate(task, kN, s);
         c.push_back(p.acceptance.accepted);
@@ -97,6 +98,26 @@ TEST(Soundness, EstimatorIsBitIdenticalAcrossThreadCounts) {
   set_parallel_threads(0);
   EXPECT_EQ(counts[0], counts[1]) << "1-thread vs 2-thread acceptance counts differ";
   EXPECT_EQ(counts[0], counts[2]) << "1-thread vs 8-thread acceptance counts differ";
+}
+
+TEST(Soundness, LogStarResistsAllThreeStrategiesUnderCpGate) {
+  // The successor-paper task gets the full adversarial battery, not just the
+  // registry sweep: replay (the same-seed yes/no pairing its near-no
+  // generator deliberately preserves), greedy local search over the planted
+  // flip, and seeded-random forging. The gate is a one-sided 95%
+  // Clopper-Pearson bound, so a pass certifies an acceptance RATE, not just
+  // a lucky count: 0/32 bounds the rate below 0.09, well under the paper's
+  // 1/polylog n promise read at this size.
+  const Runtime rt;
+  const SoundnessEstimator est(rt, small_options(32));
+  for (const Strategy s : {Strategy::replay, Strategy::seeded_random, Strategy::greedy}) {
+    SCOPED_TRACE(static_cast<int>(s));
+    const SoundnessPoint p = est.estimate(Task::log_star_planarity, kN, s);
+    EXPECT_EQ(p.honest.accepted, 0) << "honest run accepted the near-no instance";
+    EXPECT_LE(p.acceptance.accepted, 2);
+    const double up = clopper_pearson_upper(p.acceptance.accepted, p.acceptance.trials, 0.05);
+    EXPECT_LE(up, 0.25) << "CP upper bound " << up << " above gate";
+  }
 }
 
 TEST(ClopperPearson, MatchesClosedFormAndTables) {

@@ -200,6 +200,22 @@ def main():
             if not p.get("accepted", True):
                 failures.append(f"{task} @ n=2^{log_n}: honest run REJECTED")
 
+    # E-LOGSTAR separation rider: whenever one sweep holds both curves, the
+    # successor-paper task must sit strictly below lr-sorting at n >= 2^12
+    # (same seed-pinned family, so the gap is the protocols' doing).
+    lr_bits = {int(p["log_n"]): int(p["proof_size_bits"])
+               for p in tasks.get("lr-sorting", {}).get("points", [])}
+    for p in tasks.get("log-star-planarity", {}).get("points", []):
+        log_n = int(p["log_n"])
+        if log_n < 12 or log_n not in lr_bits:
+            continue
+        ls, lr = int(p["proof_size_bits"]), lr_bits[log_n]
+        mark = "ok" if ls < lr else "SEPARATION-VIOLATED"
+        print(f"  separation n=2^{log_n:<2} log-star={ls:>6} < lr-sorting={lr:>6}  {mark}")
+        if ls >= lr:
+            failures.append(f"log-star-planarity @ n=2^{log_n}: {ls} bits >= "
+                            f"lr-sorting's {lr} — the E-LOGSTAR separation failed")
+
     if checked == 0:
         print("error: no (task, log_n) point matched any budget", file=sys.stderr)
         sys.exit(2)
